@@ -1,0 +1,31 @@
+# Convenience targets for the Mermaid workbench reproduction.
+
+.PHONY: all build vet test bench experiments examples cover
+
+all: build vet test
+
+build:
+	go build ./...
+
+vet:
+	go vet ./...
+
+test:
+	go test ./...
+
+# Regenerate the paper's evaluation tables (EXPERIMENTS.md).
+experiments:
+	go run ./cmd/mermaid -experiment all
+
+bench:
+	go test -bench=. -benchmem ./...
+
+examples:
+	go run ./examples/quickstart
+	go run ./examples/cachestudy
+	go run ./examples/topostudy
+	go run ./examples/hybridcluster
+	go run ./examples/dsmstencil
+
+cover:
+	go test -cover ./internal/...

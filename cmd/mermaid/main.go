@@ -1,0 +1,296 @@
+// Command mermaid is the workbench driver: it builds a machine model (from a
+// preset or a JSON configuration), attaches a workload (an instrumented
+// application, a stochastic description, or pre-generated trace files), runs
+// the simulation and reports the results. It also regenerates every
+// experiment of the paper reproduction (see EXPERIMENTS.md).
+//
+// Usage examples:
+//
+//	mermaid -preset t805-4x4 -app jacobi -iters 20
+//	mermaid -config mymachine.json -desc workload.json
+//	mermaid -preset ppc601 -traces node0.mmt
+//	mermaid -experiment all
+//	mermaid -preset hybrid-2x2x2 -dump-config
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"mermaid/internal/core"
+	"mermaid/internal/experiments"
+	"mermaid/internal/machine"
+	"mermaid/internal/pearl"
+	"mermaid/internal/stats"
+	"mermaid/internal/stochastic"
+	"mermaid/internal/trace"
+	"mermaid/internal/workload"
+)
+
+var presets = map[string]func() machine.Config{
+	"t805-2x2":      func() machine.Config { return machine.T805Grid(2, 2) },
+	"t805-4x4":      func() machine.Config { return machine.T805Grid(4, 4) },
+	"t805-8x8":      func() machine.Config { return machine.T805Grid(8, 8) },
+	"t805-task-4x4": func() machine.Config { return machine.T805GridTaskLevel(4, 4) },
+	"ppc601":        machine.PPC601Machine,
+	"ppc601-smp4":   func() machine.Config { return machine.PPC601SMP(4) },
+	"ppc601-smp8":   func() machine.Config { return machine.PPC601SMP(8) },
+	"hybrid-2x2x2":  func() machine.Config { return machine.HybridCluster(2, 2, 2) },
+	"dsm-2x2":       func() machine.Config { return machine.DSMCluster(2, 2) },
+}
+
+var experimentRunners = map[string]func() (*stats.Table, experiments.Keys, error){
+	"table1":        experiments.Table1,
+	"slowdown":      experiments.DetailedSlowdown,
+	"slowdown-task": experiments.TaskLevelSlowdown,
+	"memory": func() (*stats.Table, experiments.Keys, error) {
+		return experiments.MemoryScaling([]int{4, 16, 64})
+	},
+	"hybrid":                  experiments.HybridAgreement,
+	"validity":                experiments.TraceValidity,
+	"cache-sweep":             experiments.CacheSweep,
+	"network-sweep":           experiments.NetworkSweep,
+	"coherence":               experiments.CoherenceStudy,
+	"interconnect":            experiments.NodeInterconnectStudy,
+	"calibration":             experiments.Calibration,
+	"routing":                 experiments.RoutingStudy,
+	"imbalance":               experiments.ImbalanceStudy,
+	"scaling":                 experiments.ScalingStudy,
+	"stochastic-vs-annotated": experiments.StochasticVsAnnotated,
+}
+
+var experimentOrder = []string{
+	"table1", "slowdown", "slowdown-task", "memory", "hybrid",
+	"validity", "cache-sweep", "network-sweep", "coherence", "interconnect",
+	"calibration", "routing", "imbalance", "scaling", "stochastic-vs-annotated",
+}
+
+func presetNames() []string {
+	names := make([]string, 0, len(presets))
+	for n := range presets {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func main() {
+	var (
+		preset     = flag.String("preset", "", "machine preset: "+strings.Join(presetNames(), ", "))
+		configPath = flag.String("config", "", "machine configuration JSON file")
+		dumpConfig = flag.Bool("dump-config", false, "print the machine configuration as JSON and exit")
+
+		app      = flag.String("app", "", "instrumented application: pingpong, jacobi, jacobi-dsm, matmul, allreduce, transpose, butterfly, shared")
+		rounds   = flag.Int("rounds", 10, "pingpong rounds")
+		iters    = flag.Int("iters", 10, "application iterations/sweeps")
+		bytesF   = flag.Int("bytes", 1024, "message/block size in bytes")
+		cells    = flag.Int("cells", 256, "jacobi grid cells")
+		dim      = flag.Int("dim", 16, "matmul matrix dimension")
+		descPath = flag.String("desc", "", "stochastic workload description JSON file")
+		traces   = flag.String("traces", "", "comma-separated binary trace files, one per processor")
+
+		experiment = flag.String("experiment", "", "run a reproduction experiment: all, "+strings.Join(experimentOrder, ", "))
+		csv        = flag.Bool("csv", false, "emit experiment tables as CSV")
+		monitor    = flag.Int64("monitor", 0, "sample run-time metrics every N cycles (0 = off)")
+		monitorCSV = flag.String("monitor-csv", "", "write monitor samples to a CSV file")
+	)
+	flag.Parse()
+
+	if *experiment != "" {
+		if err := runExperiments(*experiment, *csv); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	cfg, err := resolveConfig(*preset, *configPath)
+	if err != nil {
+		fatal(err)
+	}
+	if *dumpConfig {
+		data, err := json.MarshalIndent(cfg, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(string(data))
+		return
+	}
+
+	wb, err := core.New(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	m, err := wb.Build()
+	if err != nil {
+		fatal(err)
+	}
+	if *monitor > 0 {
+		if _, err := m.EnableMonitoring(pearl.Time(*monitor)); err != nil {
+			fatal(err)
+		}
+	}
+
+	var res *machine.Result
+	switch {
+	case *app != "":
+		res, err = runApp(m, *app, appParams{
+			rounds: *rounds, iters: *iters, bytes: uint32(*bytesF), cells: *cells, dim: *dim,
+		})
+	case *descPath != "":
+		res, err = runDesc(m, *descPath)
+	case *traces != "":
+		res, err = runTraceFiles(m, strings.Split(*traces, ","))
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	if err := wb.Report(os.Stdout, res); err != nil {
+		fatal(err)
+	}
+	if mon := m.Monitor(); mon != nil {
+		fmt.Println("\nrun-time monitor:")
+		if err := mon.Render(os.Stdout); err != nil {
+			fatal(err)
+		}
+		if *monitorCSV != "" {
+			f, err := os.Create(*monitorCSV)
+			if err != nil {
+				fatal(err)
+			}
+			if err := mon.RenderCSV(f); err != nil {
+				f.Close()
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "mermaid: wrote %s\n", *monitorCSV)
+		}
+	}
+}
+
+type appParams struct {
+	rounds, iters, cells, dim int
+	bytes                     uint32
+}
+
+func runApp(m *machine.Machine, name string, p appParams) (*machine.Result, error) {
+	n := m.Streams()
+	switch name {
+	case "pingpong":
+		if n != 2 {
+			return nil, fmt.Errorf("pingpong needs a 2-processor machine, have %d", n)
+		}
+		return m.RunProgram(workload.PingPong(p.rounds, p.bytes))
+	case "jacobi":
+		return m.RunProgram(workload.Jacobi1D(n, p.cells, p.iters))
+	case "jacobi-dsm":
+		if m.DSM() == nil {
+			return nil, fmt.Errorf("jacobi-dsm needs a machine with virtual shared memory (DSM config)")
+		}
+		return m.RunProgram(workload.JacobiDSM(n, p.cells, p.iters))
+	case "matmul":
+		var out [][]float64
+		return m.RunProgram(workload.MatMul(n, p.dim, &out))
+	case "allreduce":
+		results := make([]float64, n)
+		return m.RunProgram(workload.RingAllreduce(n, 16, results))
+	case "transpose":
+		return m.RunProgram(workload.Transpose(n, p.bytes))
+	case "butterfly":
+		return m.RunProgram(workload.Butterfly(n, p.bytes, p.iters))
+	case "shared":
+		return m.RunProgram(workload.SharedCounter(n, p.iters*10))
+	}
+	return nil, fmt.Errorf("unknown application %q", name)
+}
+
+func runDesc(m *machine.Machine, path string) (*machine.Result, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var d stochastic.Desc
+	if err := json.Unmarshal(data, &d); err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	return m.RunStochastic(d)
+}
+
+func runTraceFiles(m *machine.Machine, paths []string) (*machine.Result, error) {
+	srcs := make([]trace.Source, len(paths))
+	files := make([]*os.File, len(paths))
+	for i, p := range paths {
+		f, err := os.Open(p)
+		if err != nil {
+			return nil, err
+		}
+		files[i] = f
+		srcs[i] = trace.FromReader(f)
+	}
+	defer func() {
+		for _, f := range files {
+			f.Close()
+		}
+	}()
+	return m.Run(srcs)
+}
+
+func resolveConfig(preset, configPath string) (machine.Config, error) {
+	switch {
+	case preset != "" && configPath != "":
+		return machine.Config{}, fmt.Errorf("use either -preset or -config, not both")
+	case preset != "":
+		mk, ok := presets[preset]
+		if !ok {
+			return machine.Config{}, fmt.Errorf("unknown preset %q (have: %s)", preset, strings.Join(presetNames(), ", "))
+		}
+		return mk(), nil
+	case configPath != "":
+		data, err := os.ReadFile(configPath)
+		if err != nil {
+			return machine.Config{}, err
+		}
+		return machine.ParseConfig(data)
+	default:
+		return machine.Config{}, fmt.Errorf("a machine is required: -preset or -config")
+	}
+}
+
+func runExperiments(which string, csv bool) error {
+	names := experimentOrder
+	if which != "all" {
+		if _, ok := experimentRunners[which]; !ok {
+			return fmt.Errorf("unknown experiment %q (have: all, %s)", which, strings.Join(experimentOrder, ", "))
+		}
+		names = []string{which}
+	}
+	for _, name := range names {
+		fmt.Printf("== experiment %s ==\n", name)
+		tb, _, err := experimentRunners[name]()
+		if err != nil {
+			return fmt.Errorf("experiment %s: %w", name, err)
+		}
+		if csv {
+			if err := tb.RenderCSV(os.Stdout); err != nil {
+				return err
+			}
+		} else if err := tb.Render(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mermaid:", err)
+	os.Exit(1)
+}

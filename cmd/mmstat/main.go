@@ -1,0 +1,181 @@
+// Command mmstat is the trace analysis tool of the workbench's
+// visualisation/analysis suite: it reads binary operation traces and reports
+// operation mixes, memory-reference footprints and communication summaries,
+// with ASCII bar charts for quick inspection.
+//
+// Usage:
+//
+//	mmstat traces/node0.mmt traces/node1.mmt
+//	mmstat -chart traces/node0.mmt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"mermaid/internal/ops"
+	"mermaid/internal/stats"
+)
+
+func main() {
+	chart := flag.Bool("chart", false, "render operation mix as a bar chart")
+	matrix := flag.Bool("matrix", false, "render the src -> dst communication matrix (file order = node rank)")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: mmstat [-chart] [-matrix] trace.mmt ...")
+		os.Exit(2)
+	}
+	for _, path := range flag.Args() {
+		if err := analyze(path, *chart); err != nil {
+			fmt.Fprintf(os.Stderr, "mmstat: %s: %v\n", path, err)
+			os.Exit(1)
+		}
+	}
+	if *matrix {
+		if err := commMatrix(flag.Args()); err != nil {
+			fmt.Fprintf(os.Stderr, "mmstat: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// commMatrix aggregates sends across all traces into a bytes-sent matrix.
+func commMatrix(paths []string) error {
+	n := len(paths)
+	m := make([][]uint64, n)
+	for i := range m {
+		m[i] = make([]uint64, n)
+	}
+	for src, path := range paths {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		r := ops.NewReader(f)
+		for {
+			o, err := r.Read()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				f.Close()
+				return fmt.Errorf("%s: %w", path, err)
+			}
+			if (o.Kind == ops.Send || o.Kind == ops.ASend) && int(o.Peer) < n {
+				m[src][o.Peer] += uint64(o.Size)
+			}
+		}
+		f.Close()
+	}
+	fmt.Println("communication matrix (bytes sent, rows = source rank):")
+	header := make([]string, n+1)
+	header[0] = "src\\dst"
+	for j := 0; j < n; j++ {
+		header[j+1] = fmt.Sprint(j)
+	}
+	tb := stats.NewTable(header...)
+	for i := 0; i < n; i++ {
+		row := make([]any, n+1)
+		row[0] = i
+		for j := 0; j < n; j++ {
+			row[j+1] = int64(m[i][j])
+		}
+		tb.Row(row...)
+	}
+	return tb.Render(os.Stdout)
+}
+
+type summary struct {
+	counts    [ops.NumKinds + 1]uint64
+	total     uint64
+	sendBytes uint64
+	computeCy int64
+	peers     map[int32]uint64
+	addrMin   uint64
+	addrMax   uint64
+	addrSeen  bool
+	lines     map[uint64]struct{} // 64-byte granularity footprint
+}
+
+func analyze(path string, chart bool) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r := ops.NewReader(f)
+	s := summary{peers: make(map[int32]uint64), lines: make(map[uint64]struct{})}
+	for {
+		o, err := r.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		s.total++
+		s.counts[o.Kind]++
+		switch {
+		case o.Kind == ops.Send || o.Kind == ops.ASend:
+			s.sendBytes += uint64(o.Size)
+			s.peers[o.Peer]++
+		case o.Kind == ops.Recv || o.Kind == ops.ARecv:
+			s.peers[o.Peer]++
+		case o.Kind == ops.Compute:
+			s.computeCy += o.Dur
+		case o.Kind.IsMemoryAccess():
+			if !s.addrSeen || o.Addr < s.addrMin {
+				s.addrMin = o.Addr
+			}
+			if !s.addrSeen || o.Addr > s.addrMax {
+				s.addrMax = o.Addr
+			}
+			s.addrSeen = true
+			s.lines[o.Addr>>6] = struct{}{}
+		}
+	}
+
+	fmt.Printf("%s: %d operations\n", path, s.total)
+	tb := stats.NewTable("operation", "count", "fraction")
+	var labels []string
+	var values []float64
+	for k := ops.Load; k <= ops.WaitRecv; k++ {
+		n := s.counts[k]
+		if n == 0 {
+			continue
+		}
+		tb.Row(k.String(), int64(n), stats.Ratio(n, s.total))
+		labels = append(labels, k.String())
+		values = append(values, float64(n))
+	}
+	if err := tb.Render(os.Stdout); err != nil {
+		return err
+	}
+	if chart {
+		if err := stats.BarChart(os.Stdout, "operation mix", labels, values, 40); err != nil {
+			return err
+		}
+	}
+	if s.addrSeen {
+		fmt.Printf("data footprint: %d cache lines (64B), address range [%#x, %#x]\n",
+			len(s.lines), s.addrMin, s.addrMax)
+	}
+	if s.computeCy > 0 {
+		fmt.Printf("task-level computation: %d cycles\n", s.computeCy)
+	}
+	if len(s.peers) > 0 {
+		fmt.Printf("communication: %d bytes sent, peers:", s.sendBytes)
+		for p, n := range s.peers {
+			if p == ops.AnyPeer {
+				fmt.Printf(" any(%d)", n)
+			} else {
+				fmt.Printf(" %d(%d)", p, n)
+			}
+		}
+		fmt.Println()
+	}
+	fmt.Println()
+	return nil
+}

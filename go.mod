@@ -1,0 +1,3 @@
+module mermaid
+
+go 1.22

@@ -1,0 +1,185 @@
+// Package bus models the node-internal interconnect of the single-node
+// architecture template (Fig. 3a). The default is the paper's simple bus —
+// a forwarding mechanism that carries out arbitration upon multiple accesses
+// — but, as the paper notes, "changing the bus to a more complex structure
+// ... can be done without too much remodelling effort": a banked crossbar
+// is provided as the drop-in alternative, letting accesses to different
+// memory banks proceed concurrently.
+package bus
+
+import (
+	"fmt"
+
+	"mermaid/internal/pearl"
+	"mermaid/internal/stats"
+)
+
+// Kind selects the interconnect structure.
+type Kind string
+
+// Interconnect kinds.
+const (
+	// KindBus is a single shared bus: one transaction at a time.
+	KindBus Kind = "bus"
+	// KindCrossbar is a banked crossbar: transactions to different banks
+	// proceed concurrently; only same-bank accesses arbitrate.
+	KindCrossbar Kind = "crossbar"
+)
+
+// Config parameterises the interconnect.
+type Config struct {
+	// Kind selects bus or crossbar; empty means bus.
+	Kind Kind
+	// Width is the data path width in bytes per cycle (per bank for the
+	// crossbar).
+	Width int
+	// ArbitrationDelay is the fixed cost, in cycles, of winning arbitration
+	// for one transaction.
+	ArbitrationDelay pearl.Time
+	// Banks is the number of crossbar banks (ignored for the bus).
+	Banks int
+	// InterleaveBytes sets the bank interleaving granularity.
+	InterleaveBytes int
+}
+
+// DefaultConfig returns a generic 8-byte, 1-cycle-arbitration shared bus.
+func DefaultConfig() Config { return Config{Kind: KindBus, Width: 8, ArbitrationDelay: 1} }
+
+func (c *Config) sanitize() {
+	if c.Kind == "" {
+		c.Kind = KindBus
+	}
+	if c.Width <= 0 {
+		c.Width = 8
+	}
+	if c.ArbitrationDelay < 0 {
+		c.ArbitrationDelay = 0
+	}
+	if c.Banks <= 0 {
+		c.Banks = 4
+	}
+	if c.InterleaveBytes <= 0 {
+		c.InterleaveBytes = 64
+	}
+}
+
+// Validate checks the configuration.
+func (c *Config) Validate() error {
+	switch c.Kind {
+	case "", KindBus, KindCrossbar:
+	default:
+		return fmt.Errorf("bus: unknown interconnect kind %q", c.Kind)
+	}
+	return nil
+}
+
+// Bus is the node interconnect: a shared bus or a banked crossbar,
+// distinguished only by how many independent channels back it.
+type Bus struct {
+	cfg   Config
+	chans []*pearl.Resource
+
+	transactions stats.Counter
+	bytes        stats.Counter
+}
+
+// New creates an interconnect on kernel k.
+func New(k *pearl.Kernel, name string, cfg Config) *Bus {
+	cfg.sanitize()
+	n := 1
+	if cfg.Kind == KindCrossbar {
+		n = cfg.Banks
+	}
+	b := &Bus{cfg: cfg}
+	for i := 0; i < n; i++ {
+		b.chans = append(b.chans, k.NewResource(fmt.Sprintf("%s.%d", name, i), 1))
+	}
+	return b
+}
+
+// Kind returns the interconnect kind.
+func (b *Bus) Kind() Kind { return b.cfg.Kind }
+
+// Broadcast reports whether the interconnect is a broadcast medium (needed
+// by snoopy coherence protocols).
+func (b *Bus) Broadcast() bool { return len(b.chans) == 1 }
+
+// channel maps an address to its arbitration domain.
+func (b *Bus) channel(addr uint64) *pearl.Resource {
+	if len(b.chans) == 1 {
+		return b.chans[0]
+	}
+	bank := (addr / uint64(b.cfg.InterleaveBytes)) % uint64(len(b.chans))
+	return b.chans[bank]
+}
+
+// TransferTime returns the cycles needed to move size bytes across one
+// channel, excluding arbitration and queueing.
+func (b *Bus) TransferTime(size uint64) pearl.Time {
+	w := uint64(b.cfg.Width)
+	return pearl.Time((size + w - 1) / w)
+}
+
+// Acquire wins arbitration for the channel serving addr, blocking behind
+// earlier requesters, and charges the arbitration delay.
+func (b *Bus) Acquire(p *pearl.Process, addr uint64) {
+	p.Acquire(b.channel(addr))
+	if b.cfg.ArbitrationDelay > 0 {
+		p.Hold(b.cfg.ArbitrationDelay)
+	}
+	b.transactions.Inc()
+}
+
+// Transfer occupies the already-acquired channel for the transfer time of
+// size bytes.
+func (b *Bus) Transfer(p *pearl.Process, size uint64) {
+	if t := b.TransferTime(size); t > 0 {
+		p.Hold(t)
+	}
+	b.bytes.Add(size)
+}
+
+// Release hands the channel serving addr to the next waiter.
+func (b *Bus) Release(addr uint64) { b.channel(addr).Release() }
+
+// Transact performs a full acquire/transfer/release cycle for addr, plus an
+// optional body executed while holding the channel (e.g. a snoop phase or a
+// memory access).
+func (b *Bus) Transact(p *pearl.Process, addr, size uint64, body func()) {
+	b.Acquire(p, addr)
+	if body != nil {
+		body()
+	}
+	b.Transfer(p, size)
+	b.Release(addr)
+}
+
+// Transactions and Bytes expose the traffic counters.
+func (b *Bus) Transactions() uint64 { return b.transactions.Value() }
+
+// Bytes returns the number of bytes carried.
+func (b *Bus) Bytes() uint64 { return b.bytes.Value() }
+
+// Utilization returns the mean occupancy across channels so far.
+func (b *Bus) Utilization() float64 {
+	var u float64
+	for _, c := range b.chans {
+		u += c.Utilization()
+	}
+	return u / float64(len(b.chans))
+}
+
+// Stats reports traffic and contention metrics.
+func (b *Bus) Stats() *stats.Set {
+	s := stats.NewSet(string(b.cfg.Kind))
+	s.PutInt("transactions", int64(b.transactions.Value()), "")
+	s.PutInt("bytes", int64(b.bytes.Value()), "B")
+	s.Put("utilization", b.Utilization(), "")
+	var wait float64
+	for _, c := range b.chans {
+		wait += c.AvgWait()
+	}
+	s.Put("avg arbitration wait", wait/float64(len(b.chans)), "cyc")
+	s.PutInt("channels", int64(len(b.chans)), "")
+	return s
+}

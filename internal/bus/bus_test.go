@@ -1,0 +1,119 @@
+package bus
+
+import (
+	"testing"
+
+	"mermaid/internal/pearl"
+)
+
+func TestTransferTime(t *testing.T) {
+	k := pearl.NewKernel()
+	b := New(k, "bus", Config{Width: 8, ArbitrationDelay: 1})
+	if got := b.TransferTime(64); got != 8 {
+		t.Fatalf("64B = %d cycles, want 8", got)
+	}
+	if got := b.TransferTime(1); got != 1 {
+		t.Fatalf("1B = %d cycles, want 1 (rounded up)", got)
+	}
+}
+
+func TestArbitrationSerialises(t *testing.T) {
+	k := pearl.NewKernel()
+	b := New(k, "bus", Config{Width: 8, ArbitrationDelay: 1})
+	var t1, t2 pearl.Time
+	k.Spawn("a", func(p *pearl.Process) { b.Transact(p, 0, 64, nil); t1 = p.Now() })
+	k.Spawn("b", func(p *pearl.Process) { b.Transact(p, 0, 64, nil); t2 = p.Now() })
+	k.Run()
+	// Each transaction: 1 arb + 8 transfer = 9.
+	if t1 != 9 || t2 != 18 {
+		t.Fatalf("t1=%d t2=%d, want 9/18", t1, t2)
+	}
+	if b.Transactions() != 2 || b.Bytes() != 128 {
+		t.Fatalf("txns=%d bytes=%d", b.Transactions(), b.Bytes())
+	}
+}
+
+func TestTransactBodyRunsWhileHolding(t *testing.T) {
+	k := pearl.NewKernel()
+	b := New(k, "bus", Config{Width: 8, ArbitrationDelay: 0})
+	var bodyRan bool
+	k.Spawn("a", func(p *pearl.Process) {
+		b.Transact(p, 0, 8, func() {
+			bodyRan = true
+			if b.Utilization() == 0 && p.Now() == 0 {
+				// holding at time zero; nothing to assert about utilisation yet
+				_ = b
+			}
+		})
+	})
+	k.Run()
+	if !bodyRan {
+		t.Fatal("body did not run")
+	}
+}
+
+func TestSanitize(t *testing.T) {
+	k := pearl.NewKernel()
+	b := New(k, "bus", Config{}) // zero width must not divide by zero
+	if b.TransferTime(8) != 1 {
+		t.Fatalf("default width transfer = %d", b.TransferTime(8))
+	}
+}
+
+func TestStats(t *testing.T) {
+	k := pearl.NewKernel()
+	b := New(k, "bus", DefaultConfig())
+	k.Spawn("a", func(p *pearl.Process) { b.Transact(p, 0, 16, nil) })
+	k.Run()
+	s := b.Stats()
+	if v, ok := s.Get("transactions"); !ok || v != 1 {
+		t.Fatalf("transactions = %v", v)
+	}
+}
+
+func TestCrossbarParallelism(t *testing.T) {
+	k := pearl.NewKernel()
+	b := New(k, "xbar", Config{Kind: KindCrossbar, Width: 8, ArbitrationDelay: 1, Banks: 4, InterleaveBytes: 64})
+	var t1, t2 pearl.Time
+	// Different banks: concurrent.
+	k.Spawn("a", func(p *pearl.Process) { b.Transact(p, 0, 64, nil); t1 = p.Now() })
+	k.Spawn("b", func(p *pearl.Process) { b.Transact(p, 64, 64, nil); t2 = p.Now() })
+	k.Run()
+	if t1 != 9 || t2 != 9 {
+		t.Fatalf("t1=%d t2=%d, want concurrent 9/9", t1, t2)
+	}
+}
+
+func TestCrossbarSameBankSerialises(t *testing.T) {
+	k := pearl.NewKernel()
+	b := New(k, "xbar", Config{Kind: KindCrossbar, Width: 8, ArbitrationDelay: 1, Banks: 4, InterleaveBytes: 64})
+	var t1, t2 pearl.Time
+	// Same bank (64-byte interleave, banks 4: addresses 0 and 256 share bank 0).
+	k.Spawn("a", func(p *pearl.Process) { b.Transact(p, 0, 64, nil); t1 = p.Now() })
+	k.Spawn("b", func(p *pearl.Process) { b.Transact(p, 256, 64, nil); t2 = p.Now() })
+	k.Run()
+	if t1 != 9 || t2 != 18 {
+		t.Fatalf("t1=%d t2=%d, want serialised 9/18", t1, t2)
+	}
+}
+
+func TestBroadcast(t *testing.T) {
+	k := pearl.NewKernel()
+	if !New(k, "b", DefaultConfig()).Broadcast() {
+		t.Fatal("bus must be a broadcast medium")
+	}
+	if New(k, "x", Config{Kind: KindCrossbar, Banks: 2}).Broadcast() {
+		t.Fatal("crossbar must not claim broadcast")
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := Config{Kind: KindCrossbar}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := Config{Kind: "warp-drive"}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("expected error")
+	}
+}

@@ -1,0 +1,378 @@
+// Package cache models the cache hierarchy component of the single-node
+// architecture template (Fig. 3a): parameterised set-associative caches that
+// hold only address tags and state — never data, since Mermaid never
+// interprets memory values — organised into private per-CPU levels and shared
+// levels, kept coherent for multi-CPU nodes by a snoopy bus protocol (MESI)
+// or, alternatively, a full-map directory scheme.
+package cache
+
+import (
+	"fmt"
+
+	"mermaid/internal/pearl"
+	"mermaid/internal/stats"
+)
+
+// State is the coherence state of a cache line (MESI). Single-CPU
+// configurations use Exclusive/Modified as plain valid/dirty.
+type State uint8
+
+const (
+	Invalid State = iota
+	Shared
+	Exclusive
+	Modified
+)
+
+// String returns the one-letter MESI name.
+func (s State) String() string {
+	switch s {
+	case Invalid:
+		return "I"
+	case Shared:
+		return "S"
+	case Exclusive:
+		return "E"
+	case Modified:
+		return "M"
+	}
+	return "?"
+}
+
+// Replacement selects the victim policy of a cache.
+type Replacement uint8
+
+const (
+	LRU Replacement = iota
+	FIFO
+	Random
+)
+
+// String returns the policy name.
+func (r Replacement) String() string {
+	switch r {
+	case LRU:
+		return "LRU"
+	case FIFO:
+		return "FIFO"
+	case Random:
+		return "random"
+	}
+	return "?"
+}
+
+// WritePolicy selects how writes propagate from a cache level.
+type WritePolicy uint8
+
+const (
+	// WriteBack allocates on write miss and marks lines dirty; dirty victims
+	// are written back on eviction.
+	WriteBack WritePolicy = iota
+	// WriteThrough propagates every write to the next level immediately and
+	// does not allocate on write miss.
+	WriteThrough
+)
+
+// String returns the policy name.
+func (w WritePolicy) String() string {
+	if w == WriteThrough {
+		return "write-through"
+	}
+	return "write-back"
+}
+
+// Config parameterises one cache level.
+type Config struct {
+	Name        string
+	Size        int // total capacity in bytes
+	LineSize    int // bytes per line (power of two)
+	Assoc       int // ways per set; 0 means fully associative
+	HitLatency  pearl.Time
+	Write       WritePolicy
+	Replacement Replacement
+}
+
+// Validate checks geometric consistency.
+func (c *Config) Validate() error {
+	if c.Size <= 0 || c.LineSize <= 0 {
+		return fmt.Errorf("cache %s: non-positive geometry (size %d, line %d)", c.Name, c.Size, c.LineSize)
+	}
+	if c.LineSize&(c.LineSize-1) != 0 {
+		return fmt.Errorf("cache %s: line size %d not a power of two", c.Name, c.LineSize)
+	}
+	if c.Size%c.LineSize != 0 {
+		return fmt.Errorf("cache %s: size %d not a multiple of line size %d", c.Name, c.Size, c.LineSize)
+	}
+	lines := c.Size / c.LineSize
+	assoc := c.Assoc
+	if assoc == 0 {
+		assoc = lines
+	}
+	if assoc < 0 || lines%assoc != 0 {
+		return fmt.Errorf("cache %s: associativity %d does not divide %d lines", c.Name, c.Assoc, lines)
+	}
+	nsets := lines / assoc
+	if nsets&(nsets-1) != 0 {
+		return fmt.Errorf("cache %s: %d sets not a power of two", c.Name, nsets)
+	}
+	if c.HitLatency < 0 {
+		return fmt.Errorf("cache %s: negative hit latency", c.Name)
+	}
+	return nil
+}
+
+type line struct {
+	tag      uint64 // full line address (addr >> lineShift); uniqueness makes it both tag and identity
+	state    State
+	lastUse  uint64 // LRU clock
+	loadedAt uint64 // FIFO clock
+}
+
+// Stats holds the per-cache event counters.
+type Stats struct {
+	Hits             stats.Counter
+	Misses           stats.Counter
+	Evictions        stats.Counter
+	Writebacks       stats.Counter // dirty victims pushed down
+	BackInvalidates  stats.Counter // inner copies dropped to preserve inclusion
+	SnoopInvalidates stats.Counter // copies killed by other CPUs' writes
+	SnoopDowngrades  stats.Counter // M/E -> S on other CPUs' reads
+	SnoopSupplies    stats.Counter // dirty lines supplied cache-to-cache
+	Upgrades         stats.Counter // S -> M permission upgrades
+}
+
+// Cache is one level: a set-associative, tags-only cache. It is a passive
+// structure; timing is charged by the hierarchy that owns it. Methods are not
+// safe for concurrent use — in a Pearl-style simulation exactly one process
+// runs at a time, so no locking is needed or wanted.
+type Cache struct {
+	cfg       Config
+	nsets     int
+	assoc     int
+	lineShift uint
+	setMask   uint64
+	sets      []line // nsets * assoc, row-major
+	clock     uint64
+	rng       *pearl.RNG
+
+	S Stats
+}
+
+// New creates a cache level; the config must validate.
+func New(cfg Config, rng *pearl.RNG) (*Cache, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	lines := cfg.Size / cfg.LineSize
+	assoc := cfg.Assoc
+	if assoc == 0 {
+		assoc = lines
+	}
+	c := &Cache{
+		cfg:   cfg,
+		nsets: lines / assoc,
+		assoc: assoc,
+		rng:   rng,
+	}
+	for ls := cfg.LineSize; ls > 1; ls >>= 1 {
+		c.lineShift++
+	}
+	c.setMask = uint64(c.nsets - 1)
+	c.sets = make([]line, lines)
+	return c, nil
+}
+
+// MustNew is New for known-good configs (presets, tests).
+func MustNew(cfg Config, rng *pearl.RNG) *Cache {
+	c, err := New(cfg, rng)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Config returns the cache's configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// LineSize returns the line size in bytes.
+func (c *Cache) LineSize() uint64 { return uint64(c.cfg.LineSize) }
+
+// LineAddr returns the line address (addr with the offset bits shifted out),
+// the canonical line identity used throughout the hierarchy.
+func (c *Cache) LineAddr(addr uint64) uint64 { return addr >> c.lineShift }
+
+func (c *Cache) set(la uint64) []line {
+	idx := int(la & c.setMask)
+	return c.sets[idx*c.assoc : (idx+1)*c.assoc]
+}
+
+// Lookup finds the line (by line address) and refreshes its LRU position.
+// It returns nil on miss. Lookup does not update hit/miss counters; the
+// hierarchy does, so that probes (snoops) don't pollute demand statistics.
+func (c *Cache) Lookup(la uint64) *State {
+	set := c.set(la)
+	for i := range set {
+		if set[i].state != Invalid && set[i].tag == la {
+			c.clock++
+			set[i].lastUse = c.clock
+			return &set[i].state
+		}
+	}
+	return nil
+}
+
+// Probe finds the line without touching replacement state (used by snoops
+// and tests).
+func (c *Cache) Probe(la uint64) (State, bool) {
+	set := c.set(la)
+	for i := range set {
+		if set[i].state != Invalid && set[i].tag == la {
+			return set[i].state, true
+		}
+	}
+	return Invalid, false
+}
+
+// Victim describes a line displaced by Insert.
+type Victim struct {
+	LineAddr uint64
+	State    State
+}
+
+// Insert places the line (by line address) in the given state, evicting a
+// victim if the set is full. It reports the victim, if any. Inserting a line
+// that is already present just overwrites its state.
+func (c *Cache) Insert(la uint64, st State) (Victim, bool) {
+	if st == Invalid {
+		panic("cache: inserting invalid line")
+	}
+	set := c.set(la)
+	c.clock++
+	// Already present?
+	for i := range set {
+		if set[i].state != Invalid && set[i].tag == la {
+			set[i].state = st
+			set[i].lastUse = c.clock
+			return Victim{}, false
+		}
+	}
+	// Free way?
+	for i := range set {
+		if set[i].state == Invalid {
+			set[i] = line{tag: la, state: st, lastUse: c.clock, loadedAt: c.clock}
+			return Victim{}, false
+		}
+	}
+	// Evict.
+	vi := c.pickVictim(set)
+	v := Victim{LineAddr: set[vi].tag, State: set[vi].state}
+	set[vi] = line{tag: la, state: st, lastUse: c.clock, loadedAt: c.clock}
+	c.S.Evictions.Inc()
+	if v.State == Modified {
+		c.S.Writebacks.Inc()
+	}
+	return v, true
+}
+
+func (c *Cache) pickVictim(set []line) int {
+	switch c.cfg.Replacement {
+	case FIFO:
+		best := 0
+		for i := 1; i < len(set); i++ {
+			if set[i].loadedAt < set[best].loadedAt {
+				best = i
+			}
+		}
+		return best
+	case Random:
+		if c.rng == nil {
+			return 0
+		}
+		return c.rng.Intn(len(set))
+	default: // LRU
+		best := 0
+		for i := 1; i < len(set); i++ {
+			if set[i].lastUse < set[best].lastUse {
+				best = i
+			}
+		}
+		return best
+	}
+}
+
+// Invalidate removes the line if present, reporting its prior state.
+func (c *Cache) Invalidate(la uint64) (State, bool) {
+	set := c.set(la)
+	for i := range set {
+		if set[i].state != Invalid && set[i].tag == la {
+			st := set[i].state
+			set[i].state = Invalid
+			return st, true
+		}
+	}
+	return Invalid, false
+}
+
+// SetState changes the state of a present line; it reports whether the line
+// was found.
+func (c *Cache) SetState(la uint64, st State) bool {
+	set := c.set(la)
+	for i := range set {
+		if set[i].state != Invalid && set[i].tag == la {
+			set[i].state = st
+			return true
+		}
+	}
+	return false
+}
+
+// Flush invalidates every line, returning how many were dirty (Modified).
+func (c *Cache) Flush() (dirty int) {
+	for i := range c.sets {
+		if c.sets[i].state == Modified {
+			dirty++
+		}
+		c.sets[i].state = Invalid
+	}
+	return dirty
+}
+
+// Occupancy returns the number of valid lines.
+func (c *Cache) Occupancy() int {
+	n := 0
+	for i := range c.sets {
+		if c.sets[i].state != Invalid {
+			n++
+		}
+	}
+	return n
+}
+
+// FootprintBytes returns the host-side bookkeeping cost of the cache — a
+// handful of words per line, independent of the simulated line size, because
+// only tags and state are stored (paper §6).
+func (c *Cache) FootprintBytes() int {
+	return len(c.sets) * 32
+}
+
+// HitRatio returns hits/(hits+misses).
+func (c *Cache) HitRatio() float64 {
+	h, m := c.S.Hits.Value(), c.S.Misses.Value()
+	return stats.Ratio(h, h+m)
+}
+
+// StatsSet reports the cache counters as a metric set.
+func (c *Cache) StatsSet() *stats.Set {
+	s := stats.NewSet(c.cfg.Name)
+	s.PutInt("hits", int64(c.S.Hits.Value()), "")
+	s.PutInt("misses", int64(c.S.Misses.Value()), "")
+	s.Put("hit ratio", c.HitRatio(), "")
+	s.PutInt("evictions", int64(c.S.Evictions.Value()), "")
+	s.PutInt("writebacks", int64(c.S.Writebacks.Value()), "")
+	s.PutInt("back invalidations", int64(c.S.BackInvalidates.Value()), "")
+	s.PutInt("snoop invalidations", int64(c.S.SnoopInvalidates.Value()), "")
+	s.PutInt("snoop downgrades", int64(c.S.SnoopDowngrades.Value()), "")
+	s.PutInt("snoop supplies", int64(c.S.SnoopSupplies.Value()), "")
+	s.PutInt("upgrades", int64(c.S.Upgrades.Value()), "")
+	return s
+}

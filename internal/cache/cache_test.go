@@ -1,0 +1,252 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mermaid/internal/pearl"
+)
+
+func cfg64(size int) Config {
+	return Config{Name: "t", Size: size, LineSize: 64, Assoc: 2, HitLatency: 1}
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := []Config{
+		{Name: "a", Size: 1024, LineSize: 32, Assoc: 2},
+		{Name: "b", Size: 4096, LineSize: 64, Assoc: 0}, // fully associative
+		{Name: "c", Size: 64, LineSize: 64, Assoc: 1},
+	}
+	for _, c := range good {
+		if err := c.Validate(); err != nil {
+			t.Errorf("%s: unexpected error %v", c.Name, err)
+		}
+	}
+	bad := []Config{
+		{Name: "zero", Size: 0, LineSize: 32},
+		{Name: "npot-line", Size: 1024, LineSize: 48, Assoc: 1},
+		{Name: "frac", Size: 1000, LineSize: 64, Assoc: 1},
+		{Name: "assoc", Size: 1024, LineSize: 64, Assoc: 3},
+		{Name: "neg-lat", Size: 1024, LineSize: 64, Assoc: 1, HitLatency: -1},
+	}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("%s: expected error", c.Name)
+		}
+	}
+}
+
+func TestLookupInsert(t *testing.T) {
+	c := MustNew(cfg64(1024), nil)
+	la := c.LineAddr(0x1000)
+	if c.Lookup(la) != nil {
+		t.Fatal("hit on empty cache")
+	}
+	if v, had := c.Insert(la, Exclusive); had {
+		t.Fatalf("victim %v from empty set", v)
+	}
+	st := c.Lookup(la)
+	if st == nil || *st != Exclusive {
+		t.Fatal("line not found after insert")
+	}
+	// Reinsert updates state in place.
+	if _, had := c.Insert(la, Modified); had {
+		t.Fatal("reinsert produced victim")
+	}
+	if got, _ := c.Probe(la); got != Modified {
+		t.Fatalf("state = %v, want M", got)
+	}
+	if c.Occupancy() != 1 {
+		t.Fatalf("occupancy = %d", c.Occupancy())
+	}
+}
+
+func TestSetConflictEviction(t *testing.T) {
+	// 1024 B / 64 B lines / assoc 2 = 8 sets. Addresses 64*8 apart collide.
+	c := MustNew(cfg64(1024), nil)
+	stride := uint64(64 * 8)
+	a0, a1, a2 := uint64(0), stride, 2*stride
+	c.Insert(c.LineAddr(a0), Exclusive)
+	c.Insert(c.LineAddr(a1), Exclusive)
+	v, had := c.Insert(c.LineAddr(a2), Exclusive)
+	if !had {
+		t.Fatal("expected eviction from full set")
+	}
+	if v.LineAddr != c.LineAddr(a0) {
+		t.Fatalf("LRU victim = %#x, want oldest %#x", v.LineAddr, c.LineAddr(a0))
+	}
+}
+
+func TestLRUTouchChangesVictim(t *testing.T) {
+	c := MustNew(cfg64(1024), nil)
+	stride := uint64(64 * 8)
+	c.Insert(c.LineAddr(0), Exclusive)
+	c.Insert(c.LineAddr(stride), Exclusive)
+	c.Lookup(c.LineAddr(0)) // refresh line 0
+	v, had := c.Insert(c.LineAddr(2*stride), Exclusive)
+	if !had || v.LineAddr != c.LineAddr(stride) {
+		t.Fatalf("victim = %+v, want line at %#x", v, stride)
+	}
+}
+
+func TestFIFOIgnoresTouches(t *testing.T) {
+	cfg := cfg64(1024)
+	cfg.Replacement = FIFO
+	c := MustNew(cfg, nil)
+	stride := uint64(64 * 8)
+	c.Insert(c.LineAddr(0), Exclusive)
+	c.Insert(c.LineAddr(stride), Exclusive)
+	c.Lookup(c.LineAddr(0)) // FIFO must not care
+	v, had := c.Insert(c.LineAddr(2*stride), Exclusive)
+	if !had || v.LineAddr != c.LineAddr(0) {
+		t.Fatalf("victim = %+v, want first-in line 0", v)
+	}
+}
+
+func TestRandomReplacementStaysInSet(t *testing.T) {
+	cfg := cfg64(1024)
+	cfg.Replacement = Random
+	c := MustNew(cfg, pearl.NewRNG(1))
+	stride := uint64(64 * 8)
+	c.Insert(c.LineAddr(0), Exclusive)
+	c.Insert(c.LineAddr(stride), Exclusive)
+	v, had := c.Insert(c.LineAddr(2*stride), Exclusive)
+	if !had {
+		t.Fatal("expected eviction")
+	}
+	if v.LineAddr != c.LineAddr(0) && v.LineAddr != c.LineAddr(stride) {
+		t.Fatalf("victim %#x not from the conflicting set", v.LineAddr)
+	}
+}
+
+func TestDirtyVictimCounted(t *testing.T) {
+	c := MustNew(cfg64(1024), nil)
+	stride := uint64(64 * 8)
+	c.Insert(c.LineAddr(0), Modified)
+	c.Insert(c.LineAddr(stride), Exclusive)
+	v, _ := c.Insert(c.LineAddr(2*stride), Exclusive)
+	if v.State != Modified {
+		t.Fatalf("victim state = %v, want M", v.State)
+	}
+	if c.S.Writebacks.Value() != 1 || c.S.Evictions.Value() != 1 {
+		t.Fatalf("writebacks=%d evictions=%d", c.S.Writebacks.Value(), c.S.Evictions.Value())
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	c := MustNew(cfg64(1024), nil)
+	la := c.LineAddr(0x40)
+	c.Insert(la, Modified)
+	st, ok := c.Invalidate(la)
+	if !ok || st != Modified {
+		t.Fatalf("Invalidate = %v, %v", st, ok)
+	}
+	if _, ok := c.Probe(la); ok {
+		t.Fatal("line still present")
+	}
+	if _, ok := c.Invalidate(la); ok {
+		t.Fatal("double invalidate reported found")
+	}
+}
+
+func TestSetState(t *testing.T) {
+	c := MustNew(cfg64(1024), nil)
+	la := c.LineAddr(0)
+	if c.SetState(la, Shared) {
+		t.Fatal("SetState on absent line succeeded")
+	}
+	c.Insert(la, Exclusive)
+	if !c.SetState(la, Shared) {
+		t.Fatal("SetState failed")
+	}
+	if st, _ := c.Probe(la); st != Shared {
+		t.Fatalf("state = %v", st)
+	}
+}
+
+func TestFlush(t *testing.T) {
+	c := MustNew(cfg64(1024), nil)
+	c.Insert(c.LineAddr(0), Modified)
+	c.Insert(c.LineAddr(64), Exclusive)
+	if dirty := c.Flush(); dirty != 1 {
+		t.Fatalf("dirty = %d, want 1", dirty)
+	}
+	if c.Occupancy() != 0 {
+		t.Fatal("cache not empty after flush")
+	}
+}
+
+func TestFullyAssociative(t *testing.T) {
+	c := MustNew(Config{Name: "fa", Size: 256, LineSize: 64, Assoc: 0}, nil)
+	// 4 lines; any 4 addresses coexist regardless of bits.
+	for i := uint64(0); i < 4; i++ {
+		c.Insert(c.LineAddr(i*0x10000), Exclusive)
+	}
+	if c.Occupancy() != 4 {
+		t.Fatalf("occupancy = %d, want 4", c.Occupancy())
+	}
+	if _, had := c.Insert(c.LineAddr(5*0x10000), Exclusive); !had {
+		t.Fatal("fifth line should evict")
+	}
+}
+
+func TestFootprintIndependentOfLineSize(t *testing.T) {
+	small := MustNew(Config{Name: "s", Size: 1 << 14, LineSize: 16, Assoc: 2}, nil)
+	big := MustNew(Config{Name: "b", Size: 1 << 20, LineSize: 1024, Assoc: 2}, nil)
+	// Same number of lines -> same footprint, though capacities differ 64x:
+	// caches hold tags, not data (paper §6).
+	if small.FootprintBytes() != big.FootprintBytes() {
+		t.Fatalf("footprints differ: %d vs %d", small.FootprintBytes(), big.FootprintBytes())
+	}
+}
+
+func TestHitRatio(t *testing.T) {
+	c := MustNew(cfg64(1024), nil)
+	c.S.Hits.Add(3)
+	c.S.Misses.Add(1)
+	if c.HitRatio() != 0.75 {
+		t.Fatalf("hit ratio = %v", c.HitRatio())
+	}
+}
+
+// Property: occupancy never exceeds the line count, and a just-inserted line
+// is always found.
+func TestCacheOccupancyProperty(t *testing.T) {
+	f := func(addrs []uint32) bool {
+		c := MustNew(Config{Name: "p", Size: 512, LineSize: 32, Assoc: 2}, nil)
+		maxLines := 512 / 32
+		for _, a := range addrs {
+			la := c.LineAddr(uint64(a))
+			c.Insert(la, Exclusive)
+			if c.Occupancy() > maxLines {
+				return false
+			}
+			if st := c.Lookup(la); st == nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a victim reported by Insert is no longer present.
+func TestVictimGoneProperty(t *testing.T) {
+	f := func(addrs []uint16) bool {
+		c := MustNew(Config{Name: "p", Size: 256, LineSize: 32, Assoc: 2}, nil)
+		for _, a := range addrs {
+			v, had := c.Insert(c.LineAddr(uint64(a)*32), Exclusive)
+			if had {
+				if _, still := c.Probe(v.LineAddr); still {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

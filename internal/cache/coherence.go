@@ -1,0 +1,356 @@
+package cache
+
+// Coherence transactions of the hierarchy: the snoopy MESI protocol, the
+// full-map directory alternative, and the shared cache tier / memory walk
+// both schemes resolve into. All transactions run in the requesting CPU's
+// process context while holding the node bus, which serialises them —
+// exactly the Pearl modelling style of the original (the bus component
+// "carries out arbitration upon multiple accesses").
+
+import "mermaid/internal/pearl"
+
+// fetchLine obtains the line (in coherence granularity) for the given CPU,
+// returning the MESI state it may install it in. Timing for the bus, snoops
+// or directory, the shared tier and memory is charged to p.
+func (h *Hierarchy) fetchLine(p *pearl.Process, cpu int, ola uint64, forWrite bool) State {
+	outerC := h.priv[cpu][h.outer]
+	lineBytes := outerC.LineSize()
+	addr := ola << outerC.lineShift
+
+	h.bus.Acquire(p, addr)
+	if forWrite {
+		h.busRdX.Inc()
+	} else {
+		h.busRd.Inc()
+	}
+
+	sharedElsewhere := false
+	suppliedDirty := false
+	switch h.cfg.Coherence {
+	case Snoopy:
+		sharedElsewhere, suppliedDirty = h.snoop(cpu, ola, forWrite)
+	case Directory:
+		sharedElsewhere, suppliedDirty = h.dirTransact(p, cpu, ola, forWrite)
+	}
+
+	if suppliedDirty {
+		// Illinois MESI: the dirty owner supplies the line and it is written
+		// back to the shared tier in the same transaction.
+		if h.cfg.CacheToCacheLatency > 0 {
+			p.Hold(h.cfg.CacheToCacheLatency)
+		}
+		h.c2c.Inc()
+		h.sharedWrite(p, addr, lineBytes)
+	} else {
+		h.sharedRead(p, addr, lineBytes)
+	}
+	h.bus.Transfer(p, lineBytes)
+	h.bus.Release(addr)
+
+	switch {
+	case forWrite:
+		return Modified
+	case sharedElsewhere:
+		return Shared
+	default:
+		return Exclusive
+	}
+}
+
+// snoop runs the broadcast phase of a snoopy transaction: every other CPU's
+// outermost cache observes the request and reacts. It reports whether any
+// other CPU retains a copy and whether a dirty copy supplied the data.
+func (h *Hierarchy) snoop(cpu int, ola uint64, forWrite bool) (sharedElsewhere, suppliedDirty bool) {
+	outerShift := h.priv[cpu][h.outer].lineShift
+	base := ola << outerShift
+	size := h.priv[cpu][h.outer].LineSize()
+	for o := range h.priv {
+		if o == cpu {
+			continue
+		}
+		oc := h.priv[o][h.outer]
+		st, ok := oc.Probe(ola)
+		// The instruction cache may hold the line even when the data chain
+		// does not (split L1 at the coherence boundary).
+		iHolds := false
+		if h.cfg.SplitL1 && len(h.priv[o]) == 1 {
+			if _, ok2 := h.privI[o].Probe(h.privI[o].LineAddr(base)); ok2 {
+				iHolds = true
+			}
+		}
+		if !ok && !iHolds {
+			continue
+		}
+		if forWrite {
+			// BusRdX: all other copies die.
+			if ok {
+				oc.Invalidate(ola)
+				oc.S.SnoopInvalidates.Inc()
+				if st == Modified {
+					suppliedDirty = true
+					oc.S.SnoopSupplies.Inc()
+				}
+			}
+			h.snoopDropInner(o, base, size)
+		} else {
+			// BusRd: dirty owners flush and everyone downgrades to Shared.
+			if ok {
+				switch st {
+				case Modified:
+					suppliedDirty = true
+					oc.S.SnoopSupplies.Inc()
+					oc.SetState(ola, Shared)
+					oc.S.SnoopDowngrades.Inc()
+				case Exclusive:
+					oc.SetState(ola, Shared)
+					oc.S.SnoopDowngrades.Inc()
+				}
+				// Inner copies keep their (clean) lines; demote dirty inner
+				// copies to keep the "inner M implies outer M" invariant.
+				h.snoopDemoteInner(o, base, size)
+			}
+			sharedElsewhere = sharedElsewhere || ok || iHolds
+		}
+	}
+	return sharedElsewhere, suppliedDirty
+}
+
+// snoopDropInner invalidates all inner-level copies of the range on a remote
+// CPU after a BusRdX.
+func (h *Hierarchy) snoopDropInner(o int, base, size uint64) {
+	for lvl := 0; lvl < h.outer; lvl++ {
+		c := h.priv[o][lvl]
+		h.invalidateRange(c, base, size, &c.S.SnoopInvalidates)
+	}
+	if h.cfg.SplitL1 {
+		ic := h.privI[o]
+		h.invalidateRange(ic, base, size, &ic.S.SnoopInvalidates)
+	}
+}
+
+// snoopDemoteInner downgrades dirty inner copies to Shared after a BusRd.
+func (h *Hierarchy) snoopDemoteInner(o int, base, size uint64) {
+	for lvl := 0; lvl < h.outer; lvl++ {
+		c := h.priv[o][lvl]
+		for a := base; a < base+size; a += c.LineSize() {
+			la := c.LineAddr(a)
+			if st, ok := c.Probe(la); ok && st == Modified {
+				c.SetState(la, Shared)
+				c.S.SnoopDowngrades.Inc()
+			}
+		}
+	}
+}
+
+// upgrade performs a BusUpgr: acquiring the bus and invalidating all other
+// copies so a Shared line can be written. It reports false if this CPU's
+// copy disappeared before the bus was won (the caller must re-fetch).
+func (h *Hierarchy) upgrade(p *pearl.Process, cpu int, ola uint64) bool {
+	outerC := h.priv[cpu][h.outer]
+	base := ola << outerC.lineShift
+	h.bus.Acquire(p, base)
+	defer h.bus.Release(base)
+	if _, ok := outerC.Probe(ola); !ok {
+		return false
+	}
+	h.busUpgr.Inc()
+	size := outerC.LineSize()
+	switch h.cfg.Coherence {
+	case Snoopy:
+		for o := range h.priv {
+			if o == cpu {
+				continue
+			}
+			oc := h.priv[o][h.outer]
+			if _, ok := oc.Invalidate(ola); ok {
+				oc.S.SnoopInvalidates.Inc()
+			}
+			h.snoopDropInner(o, base, size)
+		}
+	case Directory:
+		p.Hold(h.cfg.DirLookupLatency)
+		h.dirLookups.Inc()
+		e := h.dirEntryFor(ola)
+		for o := range h.priv {
+			if o == cpu || e.sharers&(1<<uint(o)) == 0 {
+				continue
+			}
+			p.Hold(h.cfg.DirMessageLatency)
+			h.dirMsgs.Inc()
+			oc := h.priv[o][h.outer]
+			if _, ok := oc.Invalidate(ola); ok {
+				oc.S.SnoopInvalidates.Inc()
+			}
+			h.snoopDropInner(o, base, size)
+		}
+		e.sharers = 1 << uint(cpu)
+		e.owner = cpu
+	}
+	return true
+}
+
+// dirTransact runs the directory phase of a miss: lookup, invalidations (on
+// write) or intervention (on read of a dirty line), and bookkeeping.
+func (h *Hierarchy) dirTransact(p *pearl.Process, cpu int, ola uint64, forWrite bool) (sharedElsewhere, suppliedDirty bool) {
+	p.Hold(h.cfg.DirLookupLatency)
+	h.dirLookups.Inc()
+	e := h.dirEntryFor(ola)
+	outerC := h.priv[cpu][h.outer]
+	base := ola << outerC.lineShift
+	size := outerC.LineSize()
+
+	if forWrite {
+		for o := range h.priv {
+			if o == cpu || e.sharers&(1<<uint(o)) == 0 {
+				continue
+			}
+			p.Hold(h.cfg.DirMessageLatency)
+			h.dirMsgs.Inc()
+			oc := h.priv[o][h.outer]
+			if st, ok := oc.Invalidate(ola); ok {
+				oc.S.SnoopInvalidates.Inc()
+				if st == Modified {
+					suppliedDirty = true
+					oc.S.SnoopSupplies.Inc()
+				}
+			}
+			h.snoopDropInner(o, base, size)
+		}
+		e.sharers = 1 << uint(cpu)
+		e.owner = cpu
+		return false, suppliedDirty
+	}
+
+	if e.owner >= 0 && e.owner != cpu && e.sharers&(1<<uint(e.owner)) != 0 {
+		// Intervention: the owner may hold the line Exclusive or Modified
+		// (E -> M upgrades are silent); downgrade it, flushing if dirty.
+		p.Hold(h.cfg.DirMessageLatency)
+		h.dirMsgs.Inc()
+		oc := h.priv[e.owner][h.outer]
+		if st, ok := oc.Probe(ola); ok && (st == Modified || st == Exclusive) {
+			if st == Modified {
+				suppliedDirty = true
+				oc.S.SnoopSupplies.Inc()
+			}
+			oc.SetState(ola, Shared)
+			oc.S.SnoopDowngrades.Inc()
+			h.snoopDemoteInner(e.owner, base, size)
+		}
+		e.owner = -1
+	}
+	sharedElsewhere = e.sharers&^(1<<uint(cpu)) != 0
+	e.sharers |= 1 << uint(cpu)
+	if !sharedElsewhere {
+		// Sole sharer: granted Exclusive, so record ownership — a later
+		// silent E -> M upgrade leaves the directory unaware otherwise.
+		e.owner = cpu
+	}
+	return sharedElsewhere, suppliedDirty
+}
+
+func (h *Hierarchy) dirEntryFor(ola uint64) *dirEntry {
+	e, ok := h.dir[ola]
+	if !ok {
+		e = &dirEntry{owner: -1}
+		h.dir[ola] = e
+	}
+	return e
+}
+
+// dirEvict records that a CPU no longer holds the line (replacement hint,
+// keeping the full-map directory exact).
+func (h *Hierarchy) dirEvict(cpu int, ola uint64) {
+	e, ok := h.dir[ola]
+	if !ok {
+		return
+	}
+	e.sharers &^= 1 << uint(cpu)
+	if e.owner == cpu {
+		e.owner = -1
+	}
+	if e.sharers == 0 {
+		delete(h.dir, ola)
+	}
+}
+
+// writeBackLine pushes a dirty outermost-level victim to the shared tier in
+// its own bus transaction.
+func (h *Hierarchy) writeBackLine(p *pearl.Process, ola uint64, lineBytes uint64) {
+	outerC := h.priv[0][h.outer]
+	addr := ola << outerC.lineShift
+	h.busWB.Inc()
+	h.bus.Acquire(p, addr)
+	h.sharedWrite(p, addr, lineBytes)
+	h.bus.Transfer(p, lineBytes)
+	h.bus.Release(addr)
+}
+
+// writeThrough sends a store of the given size straight to the shared tier
+// (fully write-through private hierarchy, single CPU).
+func (h *Hierarchy) writeThrough(p *pearl.Process, addr, size uint64) {
+	h.wtWrites.Inc()
+	h.bus.Acquire(p, addr)
+	h.sharedWrite(p, addr, size)
+	h.bus.Transfer(p, size)
+	h.bus.Release(addr)
+}
+
+// sharedRead walks the shared cache tier for a read, falling through to
+// memory; lines are allocated on the way back. Runs while holding the bus.
+func (h *Hierarchy) sharedRead(p *pearl.Process, addr, size uint64) {
+	h.sharedAccess(p, addr, size, false)
+}
+
+// sharedWrite walks the shared tier for a write (write-back semantics at
+// shared levels; write-through levels pass stores to the next level).
+func (h *Hierarchy) sharedWrite(p *pearl.Process, addr, size uint64) {
+	h.sharedAccess(p, addr, size, true)
+}
+
+func (h *Hierarchy) sharedAccess(p *pearl.Process, addr, size uint64, write bool) {
+	h.sharedLevel(p, 0, addr, size, write)
+}
+
+func (h *Hierarchy) sharedLevel(p *pearl.Process, lvl int, addr, size uint64, write bool) {
+	if lvl >= len(h.shd) {
+		if write {
+			h.mem.Write(p, addr, size)
+		} else {
+			h.mem.Read(p, addr, size)
+		}
+		return
+	}
+	c := h.shd[lvl]
+	if c.cfg.HitLatency > 0 {
+		p.Hold(c.cfg.HitLatency)
+	}
+	la := c.LineAddr(addr)
+	st := c.Lookup(la)
+	if st != nil {
+		c.S.Hits.Inc()
+		if write {
+			if c.cfg.Write == WriteThrough {
+				h.sharedLevel(p, lvl+1, addr, size, true)
+			} else {
+				c.SetState(la, Modified)
+			}
+		}
+		return
+	}
+	c.S.Misses.Inc()
+	if write && c.cfg.Write == WriteThrough {
+		// No write-allocate; pass through.
+		h.sharedLevel(p, lvl+1, addr, size, true)
+		return
+	}
+	// Fetch the line from below, then allocate here.
+	h.sharedLevel(p, lvl+1, addr, c.LineSize(), false)
+	newState := Exclusive
+	if write {
+		newState = Modified
+	}
+	v, had := c.Insert(la, newState)
+	if had && v.State == Modified {
+		h.sharedLevel(p, lvl+1, v.LineAddr<<c.lineShift, c.LineSize(), true)
+	}
+}

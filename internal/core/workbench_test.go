@@ -1,0 +1,120 @@
+package core
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mermaid/internal/machine"
+	"mermaid/internal/ops"
+	"mermaid/internal/stochastic"
+	"mermaid/internal/trace"
+	"mermaid/internal/workload"
+)
+
+func TestNewValidates(t *testing.T) {
+	if _, err := New(machine.Config{}); err == nil {
+		t.Fatal("expected validation error")
+	}
+	wb, err := New(machine.PPC601Machine())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wb.Config().Name != "ppc601" {
+		t.Fatal("config lost")
+	}
+}
+
+func TestRunProgramAndReport(t *testing.T) {
+	wb, err := New(machine.T805Grid(2, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := wb.RunProgram(workload.PingPong(5, 256))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := wb.Report(&sb, res); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"t805-grid", "simulated time", "slowdown/proc", "node0", "network"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}
+
+func TestRunTraces(t *testing.T) {
+	wb, _ := New(machine.PPC601Machine())
+	res, err := wb.RunTraces([]trace.Source{trace.FromOps([]ops.Op{
+		ops.NewArith(ops.Add, ops.TypeInt),
+	})})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles != 1 {
+		t.Fatalf("cycles = %d", res.Cycles)
+	}
+}
+
+func TestRunStochastic(t *testing.T) {
+	wb, _ := New(machine.T805GridTaskLevel(2, 2))
+	res, err := wb.RunStochastic(stochastic.Desc{
+		Nodes: 4, Level: stochastic.TaskLevel, Seed: 1, Iterations: 1,
+		Phases: []stochastic.Phase{{Duration: 100}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles < 100 {
+		t.Fatalf("cycles = %d", res.Cycles)
+	}
+}
+
+func TestLoadFromJSONFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "machine.json")
+	data, err := json.Marshal(machine.T805Grid(2, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	wb, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wb.Config().Nodes != 4 {
+		t.Fatalf("nodes = %d", wb.Config().Nodes)
+	}
+	if _, err := Load(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("expected error for missing file")
+	}
+}
+
+func TestRunTraceFiles(t *testing.T) {
+	dir := t.TempDir()
+	paths := make([]string, 1)
+	f, err := os.Create(filepath.Join(dir, "t0.mmt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ops.WriteAll(f, []ops.Op{ops.NewArith(ops.Mul, ops.TypeInt)}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	paths[0] = f.Name()
+	wb, _ := New(machine.PPC601Machine())
+	res, err := wb.RunTraceFiles(paths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Instructions != 1 {
+		t.Fatalf("instructions = %d", res.Instructions)
+	}
+}

@@ -1,0 +1,187 @@
+// Package cpu models the CPU component of the single-node architecture
+// template (Fig. 3a): a processor that executes the abstract machine
+// instructions of Table 1 on a load-store register architecture. Because the
+// operations abstract from any real instruction set, one CPU model serves
+// every simulated processor; only its timing table changes. The deliberate
+// loss of information (no register identities, no data values) precludes
+// cycle-accurate pipeline simulation — as the paper notes — in exchange for
+// simulation speed.
+package cpu
+
+import (
+	"fmt"
+
+	"mermaid/internal/cache"
+	"mermaid/internal/ops"
+	"mermaid/internal/pearl"
+	"mermaid/internal/stats"
+)
+
+// ArithTiming gives the latency of one arithmetic operation per operand
+// type.
+type ArithTiming struct {
+	Int    pearl.Time
+	Long   pearl.Time
+	Float  pearl.Time
+	Double pearl.Time
+}
+
+func (a ArithTiming) forType(d ops.DataType) pearl.Time {
+	switch d {
+	case ops.TypeInt:
+		return a.Int
+	case ops.TypeLong:
+		return a.Long
+	case ops.TypeFloat:
+		return a.Float
+	case ops.TypeDouble:
+		return a.Double
+	}
+	return a.Int
+}
+
+// Timing is the machine-parameter table of a CPU model, calibrated per
+// target processor from published information or benchmarking (§3).
+type Timing struct {
+	Add ArithTiming
+	Sub ArithTiming
+	Mul ArithTiming
+	Div ArithTiming
+	// LoadConst is the cost of materialising an immediate.
+	LoadConst ArithTiming
+	// Branch, Call and Ret are the control-transfer costs on top of the
+	// instruction fetches appearing in the trace.
+	Branch pearl.Time
+	Call   pearl.Time
+	Ret    pearl.Time
+	// FetchBytes is the instruction size used for ifetch memory accesses.
+	FetchBytes uint32
+}
+
+// DefaultTiming returns a generic single-issue RISC timing model.
+func DefaultTiming() Timing {
+	return Timing{
+		Add:        ArithTiming{Int: 1, Long: 1, Float: 3, Double: 3},
+		Sub:        ArithTiming{Int: 1, Long: 1, Float: 3, Double: 3},
+		Mul:        ArithTiming{Int: 3, Long: 3, Float: 4, Double: 5},
+		Div:        ArithTiming{Int: 18, Long: 18, Float: 20, Double: 26},
+		LoadConst:  ArithTiming{Int: 1, Long: 1, Float: 1, Double: 1},
+		Branch:     1,
+		Call:       2,
+		Ret:        2,
+		FetchBytes: 4,
+	}
+}
+
+func (t *Timing) sanitize() {
+	if t.FetchBytes == 0 {
+		t.FetchBytes = 4
+	}
+}
+
+// CPU executes abstract machine instructions against a memory hierarchy
+// port. It is passive: Exec runs in the owning process's context and blocks
+// for each operation's full latency.
+type CPU struct {
+	id     int
+	timing Timing
+	port   *cache.Port
+
+	counts [ops.NumKinds + 1]stats.Counter
+	instrs uint64
+	busy   pearl.Time
+}
+
+// New creates a CPU with the given timing, issuing memory accesses through
+// port.
+func New(id int, timing Timing, port *cache.Port) *CPU {
+	timing.sanitize()
+	return &CPU{id: id, timing: timing, port: port}
+}
+
+// ID returns the CPU's index within its node.
+func (c *CPU) ID() int { return c.id }
+
+// Instructions returns the number of operations executed.
+func (c *CPU) Instructions() uint64 { return c.instrs }
+
+// BusyCycles returns the total simulated time spent executing operations.
+func (c *CPU) BusyCycles() pearl.Time { return c.busy }
+
+// Count returns how many operations of the given kind were executed.
+func (c *CPU) Count(k ops.Kind) uint64 { return c.counts[k].Value() }
+
+// Exec executes one computational operation, blocking p for its latency
+// (including the memory hierarchy for loads, stores and fetches).
+// Communication operations are not accepted here: the node model routes them
+// to the communication model, as in Fig. 2.
+func (c *CPU) Exec(p *pearl.Process, o ops.Op) error {
+	if !o.Kind.IsComputational() {
+		return fmt.Errorf("cpu %d: %s is not a computational operation", c.id, o.Kind)
+	}
+	start := p.Now()
+	switch o.Kind {
+	case ops.Load:
+		c.port.Access(p, cache.Read, o.Addr, o.Mem.Size())
+	case ops.Store:
+		c.port.Access(p, cache.Write, o.Addr, o.Mem.Size())
+	case ops.LoadConst:
+		c.hold(p, c.timing.LoadConst.forType(o.Data))
+	case ops.Add:
+		c.hold(p, c.timing.Add.forType(o.Data))
+	case ops.Sub:
+		c.hold(p, c.timing.Sub.forType(o.Data))
+	case ops.Mul:
+		c.hold(p, c.timing.Mul.forType(o.Data))
+	case ops.Div:
+		c.hold(p, c.timing.Div.forType(o.Data))
+	case ops.IFetch:
+		c.port.Access(p, cache.Fetch, o.Addr, uint64(c.timing.FetchBytes))
+	case ops.Branch:
+		c.hold(p, c.timing.Branch)
+	case ops.Call:
+		c.hold(p, c.timing.Call)
+	case ops.Ret:
+		c.hold(p, c.timing.Ret)
+	}
+	c.counts[o.Kind].Inc()
+	c.instrs++
+	c.busy += p.Now() - start
+	return nil
+}
+
+func (c *CPU) hold(p *pearl.Process, d pearl.Time) {
+	if d > 0 {
+		p.Hold(d)
+	}
+}
+
+// Stats reports instruction counts by category.
+func (c *CPU) Stats() *stats.Set {
+	s := stats.NewSet(fmt.Sprintf("cpu%d", c.id))
+	s.PutInt("instructions", int64(c.instrs), "")
+	s.PutInt("busy", int64(c.busy), "cyc")
+	var mem, arith, ctl uint64
+	for k := ops.Load; k <= ops.Ret; k++ {
+		n := c.counts[k].Value()
+		if n == 0 {
+			continue
+		}
+		s.PutInt(k.String(), int64(n), "")
+		switch {
+		case k.IsMemoryAccess():
+			mem += n
+		case k.IsArithmetic() || k == ops.LoadConst:
+			arith += n
+		case k.IsControl():
+			ctl += n
+		}
+	}
+	s.PutInt("memory ops", int64(mem), "")
+	s.PutInt("arithmetic ops", int64(arith), "")
+	s.PutInt("control ops", int64(ctl), "")
+	if c.busy > 0 {
+		s.Put("ops per cycle", float64(c.instrs)/float64(c.busy), "")
+	}
+	return s
+}

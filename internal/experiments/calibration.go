@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"fmt"
+
+	"mermaid/internal/machine"
+	"mermaid/internal/ops"
+	"mermaid/internal/stats"
+	"mermaid/internal/trace"
+)
+
+// Calibration is the §3 validation path: "small benchmarks used to tune and
+// validate the machine parameters of the simulation models". It runs a
+// lat-mem-rd-style probe — strided loads over growing working sets — on the
+// PowerPC 601 node and reports the mean load latency per working set. The
+// measured staircase must recover the configured hierarchy: ~L1 hit latency
+// while the set fits in L1, the L2 access cost up to the L2 capacity, and
+// the full memory path beyond.
+func Calibration() (*stats.Table, Keys, error) {
+	tb := stats.NewTable("working set", "mean load latency (cyc)", "level")
+	keys := Keys{}
+	// Stride = L2 line size so every out-of-cache access is a full miss.
+	const stride = 64
+	sets := []struct {
+		ws    uint64
+		level string
+	}{
+		{4 << 10, "L1"},
+		{16 << 10, "L1"},
+		{64 << 10, "L2"},
+		{256 << 10, "L2"},
+		{2 << 20, "memory"},
+		{4 << 20, "memory"},
+	}
+	for _, s := range sets {
+		lat, err := loadLatency(s.ws, stride)
+		if err != nil {
+			return nil, nil, err
+		}
+		tb.Row(fmt.Sprintf("%dK", s.ws>>10), lat, s.level)
+		keys[fmt.Sprintf("lat_%dk", s.ws>>10)] = lat
+	}
+	return tb, keys, nil
+}
+
+// loadLatency measures the steady-state mean latency of strided loads over a
+// working set: one warm-up pass, then the difference between an (N+1)-pass
+// and a 1-pass run divided by the extra loads.
+func loadLatency(ws, stride uint64) (float64, error) {
+	const extraPasses = 2
+	run := func(passes int) (int64, int, error) {
+		m, err := machine.New(machine.PPC601Machine())
+		if err != nil {
+			return 0, 0, err
+		}
+		var tr []ops.Op
+		for p := 0; p < passes; p++ {
+			for a := uint64(0); a < ws; a += stride {
+				tr = append(tr, ops.NewLoad(ops.MemWord, 0x1000_0000+a))
+			}
+		}
+		res, err := m.Run([]trace.Source{trace.FromOps(tr)})
+		if err != nil {
+			return 0, 0, err
+		}
+		return int64(res.Cycles), len(tr), nil
+	}
+	warmCyc, _, err := run(1)
+	if err != nil {
+		return 0, err
+	}
+	fullCyc, fullLoads, err := run(1 + extraPasses)
+	if err != nil {
+		return 0, err
+	}
+	extraLoads := fullLoads * extraPasses / (1 + extraPasses)
+	return float64(fullCyc-warmCyc) / float64(extraLoads), nil
+}

@@ -1,0 +1,394 @@
+// Package machine assembles complete multicomputer models from the node and
+// network building blocks, at either abstraction level of the workbench:
+//
+//   - Detailed mode replicates the single-node computational model for every
+//     MIMD node and couples each to its endpoint in the multi-node
+//     communication model (Fig. 2/3): instruction-level traces drive the
+//     CPUs, caches, buses and memories; communication operations flow into
+//     the network.
+//   - Task-level mode runs the communication model alone, driven by
+//     task-level traces through abstract processors — the fast-prototyping
+//     path whose slowdown is only a few host cycles per simulated cycle.
+//
+// Shared-memory machines are a single multi-CPU node without a network;
+// hybrid machines are multi-CPU nodes on a message-passing network (§4.3).
+package machine
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"mermaid/internal/dsm"
+	"mermaid/internal/network"
+	"mermaid/internal/node"
+	"mermaid/internal/pearl"
+	"mermaid/internal/stats"
+	"mermaid/internal/stochastic"
+	"mermaid/internal/trace"
+)
+
+// Mode selects the abstraction level of a machine model.
+type Mode string
+
+// Modes.
+const (
+	// Detailed simulates at the level of abstract machine instructions.
+	Detailed Mode = "detailed"
+	// TaskLevel simulates computation at the task level (communication
+	// model only).
+	TaskLevel Mode = "task"
+)
+
+// Config describes a complete machine.
+type Config struct {
+	Name string
+	Mode Mode
+	// Nodes is the MIMD node count; it must match the topology size.
+	Nodes int
+	// Node parameterises every node (detailed mode only).
+	Node node.Config
+	// Network parameterises the interconnect. A single-node machine
+	// (shared-memory simulation) may leave it zero-valued.
+	Network network.Config
+	// DSM, when non-nil, layers a virtual shared memory over the network
+	// (detailed multi-node machines only): loads and stores to the shared
+	// segment are resolved by a page-based protocol instead of explicit
+	// communication (§5's future work).
+	DSM *dsm.Config
+	// Seed drives every random policy in the model.
+	Seed uint64
+}
+
+// Validate checks the configuration's cross-component consistency.
+func (c *Config) Validate() error {
+	if c.Nodes < 1 {
+		return fmt.Errorf("machine: %d nodes", c.Nodes)
+	}
+	switch c.Mode {
+	case Detailed, TaskLevel:
+	default:
+		return fmt.Errorf("machine: unknown mode %q", c.Mode)
+	}
+	if c.Mode == TaskLevel && c.Nodes < 2 {
+		return fmt.Errorf("machine: task-level mode needs a network (>= 2 nodes)")
+	}
+	if c.hasNetwork() {
+		if err := c.Network.Validate(); err != nil {
+			return err
+		}
+	}
+	if c.Mode == Detailed {
+		if err := c.Node.Hierarchy.Validate(); err != nil {
+			return err
+		}
+	}
+	if c.DSM != nil {
+		if c.Mode != Detailed || c.Nodes < 2 {
+			return fmt.Errorf("machine: virtual shared memory requires a detailed multi-node machine")
+		}
+		if err := c.DSM.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *Config) hasNetwork() bool { return c.Nodes > 1 }
+
+// ParseConfig decodes a machine configuration from JSON.
+func ParseConfig(data []byte) (Config, error) {
+	var cfg Config
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&cfg); err != nil {
+		return Config{}, fmt.Errorf("machine: parsing config: %w", err)
+	}
+	if err := cfg.Validate(); err != nil {
+		return Config{}, err
+	}
+	return cfg, nil
+}
+
+// Machine is an instantiated multicomputer model.
+type Machine struct {
+	cfg   Config
+	k     *pearl.Kernel
+	net   *network.Network
+	nodes []*node.Node
+	procs []*network.Processor
+	dsm   *dsm.Layer
+	mon   *Monitor
+}
+
+// New builds the machine.
+func New(cfg Config) (*Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	k := pearl.NewKernel()
+	m := &Machine{cfg: cfg, k: k}
+	if cfg.hasNetwork() {
+		if cfg.Network.Topology.Kind == "" {
+			return nil, fmt.Errorf("machine: %d nodes but no topology", cfg.Nodes)
+		}
+		net, err := network.New(k, cfg.Network)
+		if err != nil {
+			return nil, err
+		}
+		if net.Nodes() != cfg.Nodes {
+			return nil, fmt.Errorf("machine: %d nodes but topology %s has %d",
+				cfg.Nodes, net.Topology().Name(), net.Nodes())
+		}
+		m.net = net
+	}
+	if cfg.Mode == Detailed {
+		rng := pearl.NewRNG(cfg.Seed)
+		for i := 0; i < cfg.Nodes; i++ {
+			var nif *network.NodeIf
+			if m.net != nil {
+				nif = m.net.Node(i)
+			}
+			nd, err := node.New(k, i, cfg.Node, nif, rng.Derive(uint64(i)))
+			if err != nil {
+				return nil, err
+			}
+			m.nodes = append(m.nodes, nd)
+		}
+		if cfg.DSM != nil {
+			layer, err := dsm.New(k, m.net, *cfg.DSM)
+			if err != nil {
+				return nil, err
+			}
+			m.dsm = layer
+			for _, nd := range m.nodes {
+				nd.AttachDSM(layer)
+			}
+		}
+	}
+	return m, nil
+}
+
+// DSM returns the virtual-shared-memory layer, or nil.
+func (m *Machine) DSM() *dsm.Layer { return m.dsm }
+
+// Kernel returns the machine's simulation kernel.
+func (m *Machine) Kernel() *pearl.Kernel { return m.k }
+
+// Network returns the communication model (nil for single-node machines).
+func (m *Machine) Network() *network.Network { return m.net }
+
+// Nodes returns the node models (empty in task-level mode).
+func (m *Machine) Nodes() []*node.Node { return m.nodes }
+
+// Streams returns how many trace streams the machine consumes: one per
+// processor in detailed mode (the paper: each trace accounts for one
+// processor or node), one per node in task-level mode.
+func (m *Machine) Streams() int {
+	if m.cfg.Mode == Detailed {
+		return m.cfg.Nodes * m.cfg.Node.Hierarchy.CPUs
+	}
+	return m.cfg.Nodes
+}
+
+// attach wires one source per stream.
+func (m *Machine) attach(srcs []trace.Source) error {
+	if len(srcs) != m.Streams() {
+		return fmt.Errorf("machine: %d trace streams for %d processors", len(srcs), m.Streams())
+	}
+	if m.cfg.Mode == Detailed {
+		cpus := m.cfg.Node.Hierarchy.CPUs
+		for i, src := range srcs {
+			m.nodes[i/cpus].Run(i%cpus, src)
+		}
+		return nil
+	}
+	for i, src := range srcs {
+		pr := network.NewProcessor(m.net.Node(i), src)
+		pr.Spawn(m.k)
+		m.procs = append(m.procs, pr)
+	}
+	return nil
+}
+
+// SetTaskSink attaches a task-trace writer to the given stream (detailed
+// mode only): the node derives a task-level trace — compute durations
+// between communication operations plus the communication operations — that
+// can later drive a task-level machine (Fig. 2's hybrid path).
+func (m *Machine) SetTaskSink(stream int, w io.Writer) error {
+	if m.cfg.Mode != Detailed {
+		return fmt.Errorf("machine: task sinks require detailed mode")
+	}
+	cpus := m.cfg.Node.Hierarchy.CPUs
+	if stream < 0 || stream >= m.Streams() {
+		return fmt.Errorf("machine: stream %d of %d", stream, m.Streams())
+	}
+	m.nodes[stream/cpus].SetTaskSink(stream%cpus, w)
+	return nil
+}
+
+// FlushTaskSinks finalises all attached task-trace writers.
+func (m *Machine) FlushTaskSinks() error {
+	for _, nd := range m.nodes {
+		if err := nd.FlushTaskSinks(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DeadlockError reports a simulation that stopped with suspended processes.
+type DeadlockError struct {
+	Blocked []string
+}
+
+// Error implements error.
+func (e *DeadlockError) Error() string {
+	return fmt.Sprintf("machine: simulation deadlocked; blocked: %s", strings.Join(e.Blocked, ", "))
+}
+
+// Run drives the machine with one trace source per stream and simulates to
+// completion, returning the measured result.
+func (m *Machine) Run(srcs []trace.Source) (*Result, error) {
+	if err := m.attach(srcs); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	cycles := m.k.Run()
+	wall := time.Since(start)
+
+	for _, nd := range m.nodes {
+		if err := nd.Err(); err != nil {
+			return nil, err
+		}
+	}
+	for _, pr := range m.procs {
+		if err := pr.Err(); err != nil {
+			return nil, err
+		}
+	}
+	if err := m.checkDone(); err != nil {
+		return nil, err
+	}
+	return m.result(cycles, wall), nil
+}
+
+// RunProgram starts an execution-driven, physical-time-interleaved program:
+// one thread per processor.
+func (m *Machine) RunProgram(prog *trace.Program) (*Result, error) {
+	if prog.Threads != m.Streams() {
+		return nil, fmt.Errorf("machine: program has %d threads, machine %d processors",
+			prog.Threads, m.Streams())
+	}
+	threads := prog.Start()
+	srcs := make([]trace.Source, len(threads))
+	for i, th := range threads {
+		srcs[i] = th
+	}
+	return m.Run(srcs)
+}
+
+// RunStochastic generates traces from the description and runs them. The
+// description's level must match the machine's mode.
+func (m *Machine) RunStochastic(d stochastic.Desc) (*Result, error) {
+	if (d.Level == stochastic.TaskLevel) != (m.cfg.Mode == TaskLevel) {
+		return nil, fmt.Errorf("machine: %s description on %s machine", d.Level, m.cfg.Mode)
+	}
+	if d.Nodes != m.Streams() {
+		return nil, fmt.Errorf("machine: description for %d nodes, machine has %d streams",
+			d.Nodes, m.Streams())
+	}
+	srcs, err := stochastic.Sources(d)
+	if err != nil {
+		return nil, err
+	}
+	return m.Run(srcs)
+}
+
+func (m *Machine) checkDone() error {
+	done := true
+	for _, nd := range m.nodes {
+		done = done && nd.Done()
+	}
+	for _, pr := range m.procs {
+		done = done && pr.Done()
+	}
+	if done {
+		return nil
+	}
+	var blocked []string
+	for _, p := range m.k.Blocked() {
+		blocked = append(blocked, fmt.Sprintf("%s (%s)", p.Name(), p.BlockReason()))
+	}
+	return &DeadlockError{Blocked: blocked}
+}
+
+// Result is the outcome of one simulation run.
+type Result struct {
+	// Cycles is the simulated execution time of the target machine.
+	Cycles pearl.Time
+	// Events is the number of kernel events processed.
+	Events uint64
+	// Wall is the host time the simulation took.
+	Wall time.Duration
+	// Instructions is the total abstract instructions executed (detailed
+	// mode).
+	Instructions uint64
+	// Processors is the number of simulated processors.
+	Processors int
+	// Stats is the full metric tree.
+	Stats *stats.Set
+}
+
+func (m *Machine) result(cycles pearl.Time, wall time.Duration) *Result {
+	r := &Result{
+		Cycles:     cycles,
+		Events:     m.k.EventCount(),
+		Wall:       wall,
+		Processors: m.Streams(),
+	}
+	root := stats.NewSet("machine " + m.cfg.Name)
+	root.PutInt("cycles", int64(cycles), "cyc")
+	root.PutInt("events", int64(r.Events), "")
+	for _, nd := range m.nodes {
+		for i := 0; i < nd.CPUs(); i++ {
+			r.Instructions += nd.CPU(i).Instructions()
+		}
+		root.Subsets = append(root.Subsets, nd.Stats())
+	}
+	for _, pr := range m.procs {
+		root.Subsets = append(root.Subsets, pr.Stats())
+	}
+	if m.net != nil {
+		root.Subsets = append(root.Subsets, m.net.Stats())
+	}
+	if m.dsm != nil {
+		root.Subsets = append(root.Subsets, m.dsm.Stats())
+	}
+	root.PutInt("instructions", int64(r.Instructions), "")
+	r.Stats = root
+	return r
+}
+
+// CyclesPerSecond returns the simulation speed: simulated target cycles per
+// host second.
+func (r *Result) CyclesPerSecond() float64 {
+	if r.Wall <= 0 {
+		return 0
+	}
+	return float64(r.Cycles) / r.Wall.Seconds()
+}
+
+// SlowdownPerProcessor returns the paper's §6 metric: host cycles needed to
+// simulate one cycle of one target processor, assuming the given host clock
+// rate in Hz. (The paper quotes 750–4,000 for detailed mode and 0.5–4 for
+// task-level mode on a 143 MHz UltraSPARC.)
+func (r *Result) SlowdownPerProcessor(hostHz float64) float64 {
+	if r.Cycles <= 0 || r.Processors <= 0 {
+		return 0
+	}
+	hostCycles := hostHz * r.Wall.Seconds()
+	return hostCycles / (float64(r.Cycles) * float64(r.Processors))
+}

@@ -1,0 +1,113 @@
+package machine
+
+import (
+	"strings"
+	"testing"
+
+	"mermaid/internal/stochastic"
+	"mermaid/internal/workload"
+)
+
+func TestMonitorSamples(t *testing.T) {
+	m, err := New(T805GridTaskLevel(2, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon, err := m.EnableMonitoring(5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.RunStochastic(stochastic.Desc{
+		Nodes: 4, Level: stochastic.TaskLevel, Seed: 7, Iterations: 10,
+		Phases: []stochastic.Phase{{
+			Duration: 10000,
+			Comm:     stochastic.Comm{Pattern: stochastic.NearestNeighbor, Bytes: 1024},
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mon.Events.Len() < 5 {
+		t.Fatalf("only %d samples over %d cycles", mon.Events.Len(), res.Cycles)
+	}
+	// Cumulative series must be non-decreasing.
+	for i := 1; i < mon.Messages.Len(); i++ {
+		if mon.Messages.V[i] < mon.Messages.V[i-1] {
+			t.Fatal("message count series decreased")
+		}
+	}
+	// Sampling must not have kept the simulation alive much beyond the work:
+	// the last sample time is within two intervals of the end.
+	last := mon.Events.T[mon.Events.Len()-1]
+	if last > int64(res.Cycles)+2*5000 {
+		t.Fatalf("monitor kept running to %d, simulation ended at %d", last, res.Cycles)
+	}
+	var sb strings.Builder
+	if err := mon.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "kernel events") || !strings.Contains(sb.String(), "samples") {
+		t.Fatalf("render output:\n%s", sb.String())
+	}
+}
+
+func TestMonitorDetailedMode(t *testing.T) {
+	m, err := New(T805Grid(2, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon, err := m.EnableMonitoring(500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.RunProgram(workload.PingPong(20, 2048)); err != nil {
+		t.Fatal(err)
+	}
+	if mon.BusUtil.Len() == 0 {
+		t.Fatal("no bus utilisation samples in detailed mode")
+	}
+}
+
+func TestMonitorValidation(t *testing.T) {
+	m, _ := New(T805Grid(2, 1))
+	if _, err := m.EnableMonitoring(0); err == nil {
+		t.Fatal("expected error for zero interval")
+	}
+	if _, err := m.EnableMonitoring(100); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.EnableMonitoring(100); err == nil {
+		t.Fatal("expected error for double enable")
+	}
+}
+
+func TestMonitorCSV(t *testing.T) {
+	m, err := New(T805GridTaskLevel(2, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon, err := m.EnableMonitoring(5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.RunStochastic(stochastic.Desc{
+		Nodes: 4, Level: stochastic.TaskLevel, Seed: 7, Iterations: 5,
+		Phases: []stochastic.Phase{{
+			Duration: 10000,
+			Comm:     stochastic.Comm{Pattern: stochastic.NearestNeighbor, Bytes: 1024},
+		}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := mon.RenderCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) < 3 {
+		t.Fatalf("csv too short:\n%s", sb.String())
+	}
+	if !strings.HasPrefix(lines[0], "cycle,bus_util,link_util") {
+		t.Fatalf("header = %q", lines[0])
+	}
+}

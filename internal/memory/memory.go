@@ -1,0 +1,107 @@
+// Package memory models the main memory (DRAM) component of the single-node
+// architecture template (Fig. 3a of the paper). As everywhere in Mermaid,
+// only timing matters: the memory stores no data, so a simulated gigabyte
+// costs nothing on the host.
+package memory
+
+import (
+	"mermaid/internal/pearl"
+	"mermaid/internal/stats"
+)
+
+// Config parameterises the DRAM model.
+type Config struct {
+	// ReadLatency and WriteLatency are the fixed access latencies in cycles
+	// before the first byte moves.
+	ReadLatency  pearl.Time
+	WriteLatency pearl.Time
+	// BytesPerCycle is the transfer bandwidth of the memory interface.
+	BytesPerCycle int
+	// Ports is the number of concurrent accesses the memory sustains;
+	// additional requests queue (FIFO).
+	Ports int
+}
+
+// DefaultConfig returns a generic DRAM: 70 ns at 66 MHz ≈ 5-cycle access,
+// 8 bytes/cycle, single ported. Presets in the machine package override this
+// with calibrated values.
+func DefaultConfig() Config {
+	return Config{ReadLatency: 5, WriteLatency: 5, BytesPerCycle: 8, Ports: 1}
+}
+
+func (c *Config) sanitize() {
+	if c.BytesPerCycle <= 0 {
+		c.BytesPerCycle = 8
+	}
+	if c.Ports <= 0 {
+		c.Ports = 1
+	}
+	if c.ReadLatency < 0 {
+		c.ReadLatency = 0
+	}
+	if c.WriteLatency < 0 {
+		c.WriteLatency = 0
+	}
+}
+
+// DRAM is a simple main-memory timing model.
+type DRAM struct {
+	cfg   Config
+	ports *pearl.Resource
+
+	reads  stats.Counter
+	writes stats.Counter
+	bytes  stats.Counter
+}
+
+// New creates a DRAM on kernel k.
+func New(k *pearl.Kernel, name string, cfg Config) *DRAM {
+	cfg.sanitize()
+	return &DRAM{cfg: cfg, ports: k.NewResource(name+".ports", cfg.Ports)}
+}
+
+// AccessTime returns the service time for a transfer of size bytes,
+// excluding queueing.
+func (d *DRAM) AccessTime(write bool, size uint64) pearl.Time {
+	lat := d.cfg.ReadLatency
+	if write {
+		lat = d.cfg.WriteLatency
+	}
+	bpc := uint64(d.cfg.BytesPerCycle)
+	return lat + pearl.Time((size+bpc-1)/bpc)
+}
+
+// Read blocks the calling process for a read of size bytes at addr,
+// including any port queueing.
+func (d *DRAM) Read(p *pearl.Process, addr, size uint64) {
+	d.access(p, false, size)
+	d.reads.Inc()
+	d.bytes.Add(size)
+}
+
+// Write blocks the calling process for a write of size bytes at addr.
+func (d *DRAM) Write(p *pearl.Process, addr, size uint64) {
+	d.access(p, true, size)
+	d.writes.Inc()
+	d.bytes.Add(size)
+}
+
+func (d *DRAM) access(p *pearl.Process, write bool, size uint64) {
+	p.Use(d.ports, d.AccessTime(write, size))
+}
+
+// Reads, Writes and Bytes expose the access counters.
+func (d *DRAM) Reads() uint64  { return d.reads.Value() }
+func (d *DRAM) Writes() uint64 { return d.writes.Value() }
+func (d *DRAM) Bytes() uint64  { return d.bytes.Value() }
+
+// Stats reports the memory's counters and utilisation.
+func (d *DRAM) Stats() *stats.Set {
+	s := stats.NewSet("memory")
+	s.PutInt("reads", int64(d.reads.Value()), "")
+	s.PutInt("writes", int64(d.writes.Value()), "")
+	s.PutInt("bytes", int64(d.bytes.Value()), "B")
+	s.Put("utilization", d.ports.Utilization(), "")
+	s.Put("avg queue wait", d.ports.AvgWait(), "cyc")
+	return s
+}

@@ -1,0 +1,8 @@
+package network
+
+import (
+	"mermaid/internal/ops"
+	"mermaid/internal/trace"
+)
+
+func traceFromOps(t []ops.Op) trace.Source { return trace.FromOps(t) }

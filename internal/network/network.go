@@ -1,0 +1,352 @@
+// Package network implements the multi-node communication model of the
+// workbench (Fig. 3b): per node an abstract processor, a router and
+// communication links, connected in a topology reflecting the physical
+// interconnect of the multicomputer. Messages are split into packets by the
+// router and moved with a configurable switching strategy; synchronous and
+// asynchronous message passing are both supported (Table 1).
+package network
+
+import (
+	"fmt"
+
+	"mermaid/internal/pearl"
+	"mermaid/internal/router"
+	"mermaid/internal/stats"
+	"mermaid/internal/topology"
+)
+
+// LinkConfig parameterises the point-to-point communication links.
+type LinkConfig struct {
+	// BytesPerCycle is the link bandwidth for fast links. For links slower
+	// than one byte per cycle (e.g. transputer links at a 30 MHz core
+	// clock), set CyclesPerByte instead; it takes precedence when non-zero.
+	BytesPerCycle int
+	CyclesPerByte int
+	// PropDelay is the signal propagation delay per hop, in cycles.
+	PropDelay pearl.Time
+}
+
+// DefaultLink returns a generic 1 byte/cycle link with 1 cycle propagation.
+func DefaultLink() LinkConfig { return LinkConfig{BytesPerCycle: 1, PropDelay: 1} }
+
+// Config parameterises the whole communication model.
+type Config struct {
+	Topology topology.Config
+	Router   router.Config
+	Link     LinkConfig
+	// SendOverhead and RecvOverhead are the software costs charged on the
+	// processor for initiating a send or receive (calibrated per machine).
+	SendOverhead pearl.Time
+	RecvOverhead pearl.Time
+	// AckBytes is the size of the acknowledgement that completes a
+	// synchronous (rendezvous) send.
+	AckBytes int
+	// LocalBytesPerCycle is the memory-copy bandwidth for self-sends
+	// (src == dst), which never enter the network.
+	LocalBytesPerCycle int
+	// Seed drives the randomised routing (Valiant intermediate selection).
+	Seed uint64
+}
+
+// Validate checks the configuration.
+func (c *Config) Validate() error {
+	if err := c.Router.Validate(); err != nil {
+		return err
+	}
+	if c.Link.BytesPerCycle <= 0 && c.Link.CyclesPerByte <= 0 {
+		return fmt.Errorf("network: link bandwidth unset")
+	}
+	if c.Link.PropDelay < 0 || c.SendOverhead < 0 || c.RecvOverhead < 0 {
+		return fmt.Errorf("network: negative delay")
+	}
+	if c.AckBytes < 0 {
+		return fmt.Errorf("network: negative ack size")
+	}
+	return nil
+}
+
+// Message is one application-level message in flight or delivered.
+type Message struct {
+	Src, Dst int
+	Size     uint32
+	Tag      uint32
+	Payload  any
+	Sync     bool
+
+	isAck      bool
+	ackFut     *pearl.Future
+	remaining  int
+	injectedAt pearl.Time
+}
+
+// Network is the assembled communication fabric plus per-node interfaces.
+type Network struct {
+	k    *pearl.Kernel
+	cfg  Config
+	topo topology.Topology
+
+	links []*pearl.Resource // directed, indexed node*degree+port
+	ifs   []*NodeIf
+	rng   *pearl.RNG // Valiant intermediate draws
+
+	msgLatency stats.Histogram
+	hopHist    stats.Histogram
+	messages   stats.Counter
+	packets    stats.Counter
+	bytes      stats.Counter
+	acks       stats.Counter
+}
+
+// New builds the network on kernel k.
+func New(k *pearl.Kernel, cfg Config) (*Network, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	topo, err := topology.New(cfg.Topology)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.LocalBytesPerCycle <= 0 {
+		cfg.LocalBytesPerCycle = 8
+	}
+	n := &Network{k: k, cfg: cfg, topo: topo, rng: pearl.NewRNG(cfg.Seed ^ 0x6d65726d61696431)}
+	// Two virtual channels per directed link: wormhole switching moves to
+	// the high channel at topology datelines (Dally–Seitz), which keeps it
+	// deadlock-free on rings and tori. Each virtual channel is modelled as
+	// an independent sub-channel with the full link bandwidth — a slight
+	// bandwidth overestimate when both channels of a link are busy at once,
+	// in exchange for the deadlock behaviour being exact.
+	deg := topo.Degree()
+	n.links = make([]*pearl.Resource, topo.Nodes()*deg*numVCs)
+	for node := 0; node < topo.Nodes(); node++ {
+		for port, nb := range topo.Neighbors(node) {
+			if nb < 0 {
+				continue
+			}
+			for vc := 0; vc < numVCs; vc++ {
+				n.links[(node*deg+port)*numVCs+vc] =
+					k.NewResource(fmt.Sprintf("link.%d.%d.vc%d", node, port, vc), 1)
+			}
+		}
+	}
+	n.ifs = make([]*NodeIf, topo.Nodes())
+	for i := range n.ifs {
+		n.ifs[i] = &NodeIf{n: n, id: i, handles: make(map[uint64]*pearl.Future)}
+	}
+	return n, nil
+}
+
+// Nodes returns the node count.
+func (n *Network) Nodes() int { return n.topo.Nodes() }
+
+// Topology returns the interconnect.
+func (n *Network) Topology() topology.Topology { return n.topo }
+
+// Node returns node i's network interface.
+func (n *Network) Node(i int) *NodeIf { return n.ifs[i] }
+
+// numVCs is the number of virtual channels per directed link.
+const numVCs = 2
+
+func (n *Network) link(node, port, vc int) *pearl.Resource {
+	return n.links[(node*n.topo.Degree()+port)*numVCs+vc]
+}
+
+func (n *Network) transferTime(bytes uint32) pearl.Time {
+	if cpb := n.cfg.Link.CyclesPerByte; cpb > 0 {
+		return pearl.Time(int(bytes) * cpb)
+	}
+	bpc := n.cfg.Link.BytesPerCycle
+	return pearl.Time((int(bytes) + bpc - 1) / bpc)
+}
+
+// inject launches the transport of msg. Called in the sender's process
+// context at the moment the message enters the network interface.
+func (n *Network) inject(msg *Message) {
+	msg.injectedAt = n.k.Now()
+	if !msg.isAck {
+		n.messages.Inc()
+		n.bytes.Add(uint64(msg.Size))
+	}
+	if msg.Src == msg.Dst {
+		// Local: a memory copy, never entering the network.
+		copyT := pearl.Time((int(msg.Size) + n.cfg.LocalBytesPerCycle - 1) / n.cfg.LocalBytesPerCycle)
+		n.k.After(copyT, func() { n.delivered(msg) })
+		return
+	}
+	pkts := n.cfg.Router.Packetize(msg.Size)
+	msg.remaining = len(pkts)
+	for i, pkt := range pkts {
+		pkt := pkt
+		n.packets.Inc()
+		n.k.Spawn(fmt.Sprintf("pkt.%d->%d.%d", msg.Src, msg.Dst, i), func(p *pearl.Process) {
+			n.forward(p, msg, pkt)
+		})
+	}
+}
+
+// forward carries one packet from msg.Src to msg.Dst, implementing the
+// configured switching strategy. It runs as its own simulation process.
+func (n *Network) forward(p *pearl.Process, msg *Message, pktBytes uint32) {
+	rc := &n.cfg.Router
+	transfer := n.transferTime(pktBytes)
+	perHop := rc.RoutingDelay + n.cfg.Link.PropDelay
+	var held []*pearl.Resource
+	wrapped := make([]bool, n.topo.Dims())
+	hops := 0
+	at := msg.Src
+	// Valiant routing: a random intermediate waypoint precedes the true
+	// destination; each leg is routed minimally.
+	waypoints := []int{msg.Dst}
+	if rc.Routing == router.Valiant {
+		if mid := n.rng.Intn(n.topo.Nodes()); mid != msg.Src && mid != msg.Dst {
+			waypoints = []int{mid, msg.Dst}
+		}
+	}
+	target := waypoints[0]
+	waypoints = waypoints[1:]
+	for at != msg.Dst {
+		if at == target && len(waypoints) > 0 {
+			target = waypoints[0]
+			waypoints = waypoints[1:]
+		}
+		var port int
+		if rc.Routing == router.Adaptive {
+			port = n.adaptivePort(at, target)
+		} else {
+			port = n.topo.Route(at, target)
+		}
+		next := n.topo.Neighbors(at)[port]
+		vc := 0
+		if rc.Switching == router.Wormhole {
+			// Dateline virtual-channel selection, per dimension.
+			d := n.topo.PortDim(port)
+			if n.topo.Dateline(at, port) {
+				wrapped[d] = true
+			}
+			if wrapped[d] {
+				vc = 1
+			}
+		}
+		link := n.link(at, port, vc)
+		p.Acquire(link)
+		hops++
+		switch rc.Switching {
+		case router.StoreAndForward:
+			// The whole packet crosses before the next hop starts.
+			p.Hold(perHop + transfer)
+			link.Release()
+		case router.VirtualCutThrough:
+			// Header advances; the body streams behind and the channel frees
+			// once it has drained, wherever the header is by then.
+			p.Hold(perHop)
+			n.k.After(transfer, link.Release)
+		case router.Wormhole:
+			// Channels stay with the worm until delivery.
+			held = append(held, link)
+			p.Hold(perHop)
+		}
+		at = next
+	}
+	if rc.Switching != router.StoreAndForward {
+		p.Hold(transfer) // body drains at the destination
+	}
+	for _, l := range held {
+		l.Release()
+	}
+	n.hopHist.Observe(int64(hops))
+	msg.remaining--
+	if msg.remaining == 0 {
+		n.delivered(msg)
+	}
+}
+
+// adaptivePort picks, among the minimal output ports, the one whose channel
+// is least loaded right now (holders plus queued packets; ties go to the
+// lowest port, keeping the choice deterministic).
+func (n *Network) adaptivePort(at, to int) int {
+	ports := n.topo.MinimalPorts(at, to)
+	best := ports[0]
+	bestLoad := 1 << 30
+	for _, p := range ports {
+		l := n.link(at, p, 0)
+		load := l.InUse() + l.QueueLen()
+		if load < bestLoad {
+			best, bestLoad = p, load
+		}
+	}
+	return best
+}
+
+// delivered hands a fully arrived message to the destination interface.
+func (n *Network) delivered(msg *Message) {
+	if !msg.isAck {
+		n.msgLatency.Observe(int64(n.k.Now() - msg.injectedAt))
+	}
+	n.ifs[msg.Dst].arrive(msg)
+}
+
+// sendAck issues the rendezvous acknowledgement completing a synchronous
+// send, once the receiver has accepted the message.
+func (n *Network) sendAck(msg *Message) {
+	if !msg.Sync || msg.ackFut == nil {
+		return
+	}
+	n.acks.Inc()
+	size := uint32(n.cfg.AckBytes)
+	ack := &Message{Src: msg.Dst, Dst: msg.Src, Size: size, isAck: true, ackFut: msg.ackFut}
+	n.inject(ack)
+}
+
+// MessageLatency returns the distribution of end-to-end message latencies
+// (injection to full arrival, excluding send/receive overheads and matching).
+func (n *Network) MessageLatency() *stats.Histogram { return &n.msgLatency }
+
+// Messages, Packets and Bytes return the traffic counters (excluding acks
+// for Messages... note acks do count as injected traffic in Packets/Bytes).
+func (n *Network) Messages() uint64 { return n.messages.Value() }
+
+// Packets returns the number of packets injected.
+func (n *Network) Packets() uint64 { return n.packets.Value() }
+
+// Bytes returns the total payload bytes injected.
+func (n *Network) Bytes() uint64 { return n.bytes.Value() }
+
+// MeanHops returns the average per-packet hop count observed so far.
+func (n *Network) MeanHops() float64 { return n.hopHist.Mean() }
+
+// LinkUtilization returns the mean and maximum utilisation over all links.
+func (n *Network) LinkUtilization() (avg, max float64) {
+	count := 0
+	for _, l := range n.links {
+		if l == nil {
+			continue
+		}
+		u := l.Utilization()
+		avg += u
+		if u > max {
+			max = u
+		}
+		count++
+	}
+	if count > 0 {
+		avg /= float64(count)
+	}
+	return avg, max
+}
+
+// Stats reports the network's aggregate metrics.
+func (n *Network) Stats() *stats.Set {
+	s := stats.NewSet("network " + n.topo.Name())
+	s.PutInt("messages", int64(n.messages.Value()), "")
+	s.PutInt("packets", int64(n.packets.Value()), "")
+	s.PutInt("payload bytes", int64(n.bytes.Value()), "B")
+	s.PutInt("sync acks", int64(n.acks.Value()), "")
+	s.Put("mean msg latency", n.msgLatency.Mean(), "cyc")
+	s.PutInt("max msg latency", n.msgLatency.Max(), "cyc")
+	s.Put("mean hops", n.hopHist.Mean(), "")
+	avg, max := n.LinkUtilization()
+	s.Put("avg link utilization", avg, "")
+	s.Put("max link utilization", max, "")
+	return s
+}

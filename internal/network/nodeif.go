@@ -1,0 +1,169 @@
+package network
+
+import (
+	"fmt"
+
+	"mermaid/internal/ops"
+	"mermaid/internal/pearl"
+	"mermaid/internal/stats"
+)
+
+// NodeIf is one node's network interface: the API through which both the
+// abstract processor (task-level mode) and the single-node computational
+// model (detailed mode) perform message passing. Matching follows MPI-like
+// semantics: a receive names a source (or ops.AnyPeer) and a tag; arrivals
+// match the oldest compatible posted receive, and receives match the oldest
+// compatible arrival — "oldest" in simulated time, which is what makes the
+// generated multiprocessor traces valid.
+type NodeIf struct {
+	n  *Network
+	id int
+
+	arrived []*Message
+	waiters []*recvWait
+	handles map[uint64]*pearl.Future
+
+	sends     stats.Counter
+	recvs     stats.Counter
+	sendBlock pearl.Time // cycles spent blocked in synchronous sends
+	recvBlock pearl.Time // cycles spent blocked waiting for arrivals
+}
+
+type recvWait struct {
+	src int32
+	tag uint32
+	fut *pearl.Future
+}
+
+func matches(src int32, tag uint32, m *Message) bool {
+	return (src == ops.AnyPeer || int(src) == m.Src) && tag == m.Tag
+}
+
+// ID returns the node id.
+func (ni *NodeIf) ID() int { return ni.id }
+
+// Send transmits size bytes to dst. When sync is true the call blocks (in
+// simulated time) until the destination has accepted the message —
+// synchronous send(message-size, destination) of Table 1; otherwise it
+// returns after the send overhead — asend.
+func (ni *NodeIf) Send(p *pearl.Process, dst int, size uint32, tag uint32, payload any, sync bool) {
+	if dst < 0 || dst >= ni.n.Nodes() {
+		panic(fmt.Sprintf("network: node %d sending to invalid destination %d", ni.id, dst))
+	}
+	ni.sends.Inc()
+	if ni.n.cfg.SendOverhead > 0 {
+		p.Hold(ni.n.cfg.SendOverhead)
+	}
+	msg := &Message{Src: ni.id, Dst: dst, Size: size, Tag: tag, Payload: payload, Sync: sync}
+	if sync {
+		msg.ackFut = ni.n.k.NewFuture()
+	}
+	ni.n.inject(msg)
+	if sync {
+		start := p.Now()
+		p.Await(msg.ackFut)
+		ni.sendBlock += p.Now() - start
+	}
+}
+
+// Recv blocks until a message matching (src, tag) has arrived, returning it.
+// src may be ops.AnyPeer; the message that arrived first in simulated time
+// wins — the feedback the execution-driven trace generation relies on.
+func (ni *NodeIf) Recv(p *pearl.Process, src int32, tag uint32) *Message {
+	ni.recvs.Inc()
+	if ni.n.cfg.RecvOverhead > 0 {
+		p.Hold(ni.n.cfg.RecvOverhead)
+	}
+	if m := ni.takeArrived(src, tag); m != nil {
+		ni.n.sendAck(m)
+		return m
+	}
+	w := &recvWait{src: src, tag: tag, fut: ni.n.k.NewFuture()}
+	ni.waiters = append(ni.waiters, w)
+	start := p.Now()
+	m := p.Await(w.fut).(*Message)
+	ni.recvBlock += p.Now() - start
+	return m
+}
+
+// PostRecv posts an asynchronous receive (arecv) under the given handle and
+// returns immediately; complete it with WaitRecv.
+func (ni *NodeIf) PostRecv(p *pearl.Process, src int32, tag uint32, handle uint64) {
+	ni.recvs.Inc()
+	if ni.n.cfg.RecvOverhead > 0 {
+		p.Hold(ni.n.cfg.RecvOverhead)
+	}
+	if _, dup := ni.handles[handle]; dup {
+		panic(fmt.Sprintf("network: node %d reusing arecv handle %d", ni.id, handle))
+	}
+	fut := ni.n.k.NewFuture()
+	ni.handles[handle] = fut
+	if m := ni.takeArrived(src, tag); m != nil {
+		ni.n.sendAck(m)
+		fut.Complete(m)
+		return
+	}
+	ni.waiters = append(ni.waiters, &recvWait{src: src, tag: tag, fut: fut})
+}
+
+// WaitRecv blocks until the arecv posted under handle has completed,
+// returning its message.
+func (ni *NodeIf) WaitRecv(p *pearl.Process, handle uint64) *Message {
+	fut, ok := ni.handles[handle]
+	if !ok {
+		panic(fmt.Sprintf("network: node %d waiting on unknown arecv handle %d", ni.id, handle))
+	}
+	delete(ni.handles, handle)
+	start := p.Now()
+	m := p.Await(fut).(*Message)
+	ni.recvBlock += p.Now() - start
+	return m
+}
+
+// takeArrived removes and returns the oldest arrived message matching
+// (src, tag), or nil.
+func (ni *NodeIf) takeArrived(src int32, tag uint32) *Message {
+	for i, m := range ni.arrived {
+		if matches(src, tag, m) {
+			ni.arrived = append(ni.arrived[:i], ni.arrived[i+1:]...)
+			return m
+		}
+	}
+	return nil
+}
+
+// arrive is called by the transport when a message has fully arrived at this
+// node: it matches the oldest compatible posted receive or queues the
+// message.
+func (ni *NodeIf) arrive(m *Message) {
+	if m.isAck {
+		m.ackFut.Complete(nil)
+		return
+	}
+	for i, w := range ni.waiters {
+		if matches(w.src, w.tag, m) {
+			ni.waiters = append(ni.waiters[:i], ni.waiters[i+1:]...)
+			ni.n.sendAck(m)
+			w.fut.Complete(m)
+			return
+		}
+	}
+	ni.arrived = append(ni.arrived, m)
+}
+
+// Pending returns the number of arrived-but-unmatched messages (for
+// diagnostics and drain checks).
+func (ni *NodeIf) Pending() int { return len(ni.arrived) }
+
+// Outstanding returns the number of posted-but-unmatched receives.
+func (ni *NodeIf) Outstanding() int { return len(ni.waiters) }
+
+// Stats reports the interface's counters.
+func (ni *NodeIf) Stats() *stats.Set {
+	s := stats.NewSet(fmt.Sprintf("nif%d", ni.id))
+	s.PutInt("sends", int64(ni.sends.Value()), "")
+	s.PutInt("recvs", int64(ni.recvs.Value()), "")
+	s.PutInt("send blocked", int64(ni.sendBlock), "cyc")
+	s.PutInt("recv blocked", int64(ni.recvBlock), "cyc")
+	return s
+}

@@ -1,0 +1,113 @@
+package network
+
+import (
+	"fmt"
+	"io"
+
+	"mermaid/internal/ops"
+	"mermaid/internal/pearl"
+	"mermaid/internal/stats"
+	"mermaid/internal/trace"
+)
+
+// Processor is the abstract processor of the multi-node model: it reads an
+// incoming (task-level) operation trace, models the compute operations at
+// the task level and dispatches communication requests to the router —
+// exactly the component of Fig. 3b. This is the fast-prototyping abstraction
+// level: slowdown is dominated by communication, since computation is
+// simulated as single compute(duration) events.
+type Processor struct {
+	ni  *NodeIf
+	src trace.Source
+
+	computeCycles pearl.Time
+	taskCount     stats.Counter
+	err           error
+	done          bool
+}
+
+// NewProcessor creates an abstract processor on node interface ni consuming
+// the given trace source.
+func NewProcessor(ni *NodeIf, src trace.Source) *Processor {
+	return &Processor{ni: ni, src: src}
+}
+
+// Spawn starts the processor as a simulation process on kernel k.
+func (pr *Processor) Spawn(k *pearl.Kernel) *pearl.Process {
+	return k.Spawn(fmt.Sprintf("proc%d", pr.ni.id), pr.Run)
+}
+
+// Run executes the processor loop in process p. It terminates at the end of
+// the trace; Err reports any trace error afterwards.
+func (pr *Processor) Run(p *pearl.Process) {
+	defer func() { pr.done = true }()
+	for {
+		ev, err := pr.src.Next()
+		if err == io.EOF {
+			return
+		}
+		if err != nil {
+			pr.err = err
+			return
+		}
+		if err := pr.exec(p, ev); err != nil {
+			pr.err = err
+			return
+		}
+	}
+}
+
+func (pr *Processor) exec(p *pearl.Process, ev trace.Event) error {
+	o := ev.Op
+	resume := func(fb trace.Feedback) {
+		if ev.Resume != nil {
+			ev.Resume <- fb
+		}
+	}
+	switch o.Kind {
+	case ops.Compute:
+		pr.computeCycles += pearl.Time(o.Dur)
+		pr.taskCount.Inc()
+		if o.Dur > 0 {
+			p.Hold(pearl.Time(o.Dur))
+		}
+	case ops.Send:
+		pr.ni.Send(p, int(o.Peer), o.Size, o.Tag, ev.Payload, true)
+		resume(trace.Feedback{Peer: o.Peer, Tag: o.Tag})
+	case ops.ASend:
+		pr.ni.Send(p, int(o.Peer), o.Size, o.Tag, ev.Payload, false)
+		resume(trace.Feedback{Peer: o.Peer, Tag: o.Tag})
+	case ops.Recv:
+		m := pr.ni.Recv(p, o.Peer, o.Tag)
+		resume(trace.Feedback{Peer: int32(m.Src), Tag: m.Tag, Payload: m.Payload})
+	case ops.ARecv:
+		pr.ni.PostRecv(p, o.Peer, o.Tag, o.Addr)
+		resume(trace.Feedback{Peer: o.Peer, Tag: o.Tag})
+	case ops.WaitRecv:
+		m := pr.ni.WaitRecv(p, o.Addr)
+		resume(trace.Feedback{Peer: int32(m.Src), Tag: m.Tag, Payload: m.Payload})
+	default:
+		return fmt.Errorf("network: task-level trace for node %d contains %s; "+
+			"instruction-level operations need the computational model", pr.ni.id, o.Kind)
+	}
+	return nil
+}
+
+// Err returns the first error the processor hit, if any.
+func (pr *Processor) Err() error { return pr.err }
+
+// Done reports whether the processor finished its trace.
+func (pr *Processor) Done() bool { return pr.done }
+
+// ComputeCycles returns the total simulated computation time.
+func (pr *Processor) ComputeCycles() pearl.Time { return pr.computeCycles }
+
+// Stats reports the processor's counters.
+func (pr *Processor) Stats() *stats.Set {
+	s := stats.NewSet(fmt.Sprintf("proc%d", pr.ni.id))
+	s.PutInt("compute tasks", int64(pr.taskCount.Value()), "")
+	s.PutInt("compute cycles", int64(pr.computeCycles), "cyc")
+	sub := pr.ni.Stats()
+	s.Subsets = append(s.Subsets, sub)
+	return s
+}

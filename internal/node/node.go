@@ -1,0 +1,258 @@
+// Package node assembles the single-node computational model of the
+// workbench (Fig. 3a): CPUs executing abstract machine instructions against
+// the node's cache hierarchy, bus and memory. Communication operations are
+// not simulated here — they are forwarded to the communication model
+// (Fig. 2), and the node measures the simulated time between two consecutive
+// communication operations to construct the computational tasks that drive
+// the task-level model (optionally exporting them as a task-level trace).
+package node
+
+import (
+	"fmt"
+	"io"
+
+	"mermaid/internal/cache"
+	"mermaid/internal/cpu"
+	"mermaid/internal/dsm"
+	"mermaid/internal/network"
+	"mermaid/internal/ops"
+	"mermaid/internal/pearl"
+	"mermaid/internal/stats"
+	"mermaid/internal/trace"
+)
+
+// Config parameterises one node: its memory system and the CPU timing table.
+type Config struct {
+	Hierarchy cache.HierarchyConfig
+	Timing    cpu.Timing
+}
+
+// Node is one MIMD node: CPUs plus memory hierarchy, optionally attached to
+// a network endpoint for message passing.
+type Node struct {
+	id     int
+	k      *pearl.Kernel
+	hier   *cache.Hierarchy
+	cpus   []*cpu.CPU
+	nif    *network.NodeIf // nil for a pure shared-memory node
+	shared *dsm.Layer      // nil when no virtual shared memory is configured
+
+	taskSinks []*ops.Writer
+	lastComm  []pearl.Time
+	taskCount []uint64
+
+	runners []*runner
+}
+
+type runner struct {
+	proc *pearl.Process
+	err  error
+	done bool
+}
+
+// New builds a node on kernel k. nif may be nil when the node is not part of
+// a message-passing machine (pure shared-memory simulation, §4.3).
+func New(k *pearl.Kernel, id int, cfg Config, nif *network.NodeIf, rng *pearl.RNG) (*Node, error) {
+	hier, err := cache.NewHierarchy(k, fmt.Sprintf("node%d", id), cfg.Hierarchy, rng)
+	if err != nil {
+		return nil, err
+	}
+	n := &Node{
+		id:        id,
+		k:         k,
+		hier:      hier,
+		nif:       nif,
+		taskSinks: make([]*ops.Writer, cfg.Hierarchy.CPUs),
+		lastComm:  make([]pearl.Time, cfg.Hierarchy.CPUs),
+		taskCount: make([]uint64, cfg.Hierarchy.CPUs),
+	}
+	for i := 0; i < cfg.Hierarchy.CPUs; i++ {
+		n.cpus = append(n.cpus, cpu.New(i, cfg.Timing, hier.Port(i)))
+	}
+	return n, nil
+}
+
+// AttachDSM connects the node to a virtual-shared-memory layer: loads and
+// stores whose address falls in the shared segment transparently obtain page
+// rights through the DSM protocol before accessing the local hierarchy —
+// hiding all explicit communication from the application (§5).
+func (n *Node) AttachDSM(layer *dsm.Layer) {
+	n.shared = layer
+	layer.AttachCaches(n.id, n.hier)
+}
+
+// ID returns the node id.
+func (n *Node) ID() int { return n.id }
+
+// CPUs returns the number of processors on the node.
+func (n *Node) CPUs() int { return len(n.cpus) }
+
+// CPU returns the i-th processor model.
+func (n *Node) CPU(i int) *cpu.CPU { return n.cpus[i] }
+
+// Hierarchy returns the node's memory system.
+func (n *Node) Hierarchy() *cache.Hierarchy { return n.hier }
+
+// SetTaskSink attaches a writer that receives the task-level trace derived
+// from CPU cpuIdx's instruction-level execution: compute(duration) events
+// between communication operations, plus the communication operations
+// themselves. This is how the hybrid model of Fig. 2 exports workloads for
+// later fast-prototyping runs.
+func (n *Node) SetTaskSink(cpuIdx int, w io.Writer) {
+	n.taskSinks[cpuIdx] = ops.NewWriter(w)
+}
+
+// FlushTaskSinks finalises all task trace writers.
+func (n *Node) FlushTaskSinks() error {
+	for _, w := range n.taskSinks {
+		if w != nil {
+			if err := w.Flush(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Run spawns a simulation process executing the operation stream src on CPU
+// cpuIdx. Communication operations are forwarded to the node's network
+// interface; if the node has none, they are an error.
+func (n *Node) Run(cpuIdx int, src trace.Source) {
+	r := &runner{}
+	n.runners = append(n.runners, r)
+	c := n.cpus[cpuIdx]
+	r.proc = n.k.Spawn(fmt.Sprintf("node%d.cpu%d", n.id, cpuIdx), func(p *pearl.Process) {
+		defer func() { r.done = true }()
+		for {
+			ev, err := src.Next()
+			if err == io.EOF {
+				n.emitTask(p, cpuIdx, nil)
+				return
+			}
+			if err != nil {
+				r.err = err
+				return
+			}
+			if err := n.exec(p, c, cpuIdx, ev); err != nil {
+				r.err = err
+				return
+			}
+		}
+	})
+}
+
+func (n *Node) exec(p *pearl.Process, c *cpu.CPU, cpuIdx int, ev trace.Event) error {
+	o := ev.Op
+	if o.Kind.IsComputational() {
+		if n.shared != nil && o.Kind.IsMemoryAccess() && n.shared.InRange(o.Addr) {
+			// Virtual shared memory: obtain page rights first (may fault
+			// through the network), then perform the local access.
+			write := o.Kind == ops.Store
+			n.shared.Ensure(p, n.id, write, o.Addr)
+			if last := o.Addr + o.Mem.Size() - 1; n.shared.InRange(last) {
+				n.shared.Ensure(p, n.id, write, last) // page-straddling access
+			}
+		}
+		return c.Exec(p, o)
+	}
+	if o.Kind == ops.Compute {
+		// Mixed-abstraction traces are permitted: a compute event simply
+		// advances time.
+		if o.Dur > 0 {
+			p.Hold(pearl.Time(o.Dur))
+		}
+		return nil
+	}
+	// Communication operation: close the current computational task and
+	// dispatch to the communication model.
+	n.emitTask(p, cpuIdx, &o)
+	if n.nif == nil {
+		return fmt.Errorf("node %d: %s without a network attached (shared-memory node)", n.id, o.Kind)
+	}
+	resume := func(fb trace.Feedback) {
+		if ev.Resume != nil {
+			ev.Resume <- fb
+		}
+	}
+	switch o.Kind {
+	case ops.Send:
+		n.nif.Send(p, int(o.Peer), o.Size, o.Tag, ev.Payload, true)
+		resume(trace.Feedback{Peer: o.Peer, Tag: o.Tag})
+	case ops.ASend:
+		n.nif.Send(p, int(o.Peer), o.Size, o.Tag, ev.Payload, false)
+		resume(trace.Feedback{Peer: o.Peer, Tag: o.Tag})
+	case ops.Recv:
+		m := n.nif.Recv(p, o.Peer, o.Tag)
+		resume(trace.Feedback{Peer: int32(m.Src), Tag: m.Tag, Payload: m.Payload})
+	case ops.ARecv:
+		n.nif.PostRecv(p, o.Peer, o.Tag, o.Addr)
+		resume(trace.Feedback{Peer: o.Peer, Tag: o.Tag})
+	case ops.WaitRecv:
+		m := n.nif.WaitRecv(p, o.Addr)
+		resume(trace.Feedback{Peer: int32(m.Src), Tag: m.Tag, Payload: m.Payload})
+	default:
+		return fmt.Errorf("node %d: unsupported operation %s", n.id, o.Kind)
+	}
+	n.lastComm[cpuIdx] = p.Now()
+	return nil
+}
+
+// emitTask writes the computational task that ended now (the time since the
+// previous communication operation) and, if given, the communication
+// operation that ended it, to the CPU's task sink.
+func (n *Node) emitTask(p *pearl.Process, cpuIdx int, comm *ops.Op) {
+	elapsed := p.Now() - n.lastComm[cpuIdx]
+	n.taskCount[cpuIdx]++
+	w := n.taskSinks[cpuIdx]
+	if w == nil {
+		return
+	}
+	if elapsed > 0 {
+		if err := w.Write(ops.NewCompute(int64(elapsed))); err != nil {
+			return
+		}
+	}
+	if comm != nil {
+		_ = w.Write(*comm)
+	}
+}
+
+// Err returns the first execution error across the node's CPU runners.
+func (n *Node) Err() error {
+	for _, r := range n.runners {
+		if r.err != nil {
+			return r.err
+		}
+	}
+	return nil
+}
+
+// Done reports whether all spawned runners have finished their traces.
+func (n *Node) Done() bool {
+	for _, r := range n.runners {
+		if !r.done {
+			return false
+		}
+	}
+	return true
+}
+
+// Tasks returns how many computational tasks CPU cpuIdx produced (the task
+// extraction of Fig. 2).
+func (n *Node) Tasks(cpuIdx int) uint64 { return n.taskCount[cpuIdx] }
+
+// Stats reports the node's CPU and memory system metrics.
+func (n *Node) Stats() *stats.Set {
+	s := stats.NewSet(fmt.Sprintf("node%d", n.id))
+	var instrs uint64
+	for _, c := range n.cpus {
+		instrs += c.Instructions()
+		s.Subsets = append(s.Subsets, c.Stats())
+	}
+	s.PutInt("instructions", int64(instrs), "")
+	s.Subsets = append(s.Subsets, n.hier.StatsSet())
+	if n.nif != nil {
+		s.Subsets = append(s.Subsets, n.nif.Stats())
+	}
+	return s
+}

@@ -1,0 +1,400 @@
+package ops
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Binary trace format: a magic header followed by one variable-length record
+// per operation. Each record starts with the kind byte; the remaining fields
+// depend on the kind and use unsigned varints (zig-zag for signed values), so
+// common traces are 2–6 bytes per operation.
+
+var magic = [4]byte{'M', 'M', 'T', '1'} // Mermaid trace v1
+
+// Writer encodes operations to a binary trace stream.
+type Writer struct {
+	w       *bufio.Writer
+	wrote   bool
+	count   uint64
+	scratch [binary.MaxVarintLen64]byte
+}
+
+// NewWriter creates a trace writer on w. The header is emitted lazily on the
+// first Write so that creating a writer is cheap.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: bufio.NewWriter(w)}
+}
+
+// Count returns the number of operations written.
+func (tw *Writer) Count() uint64 { return tw.count }
+
+func (tw *Writer) uvarint(v uint64) error {
+	n := binary.PutUvarint(tw.scratch[:], v)
+	_, err := tw.w.Write(tw.scratch[:n])
+	return err
+}
+
+func (tw *Writer) varint(v int64) error {
+	n := binary.PutVarint(tw.scratch[:], v)
+	_, err := tw.w.Write(tw.scratch[:n])
+	return err
+}
+
+// Write appends one operation to the stream.
+func (tw *Writer) Write(o Op) error {
+	if err := o.Validate(); err != nil {
+		return err
+	}
+	if !tw.wrote {
+		if _, err := tw.w.Write(magic[:]); err != nil {
+			return err
+		}
+		tw.wrote = true
+	}
+	if err := tw.w.WriteByte(byte(o.Kind)); err != nil {
+		return err
+	}
+	var err error
+	switch o.Kind {
+	case Load, Store:
+		if err = tw.w.WriteByte(byte(o.Mem)); err == nil {
+			err = tw.uvarint(o.Addr)
+		}
+	case LoadConst, Add, Sub, Mul, Div:
+		err = tw.w.WriteByte(byte(o.Data))
+	case IFetch, Branch, Call, Ret:
+		err = tw.uvarint(o.Addr)
+	case Send, ASend:
+		if err = tw.uvarint(uint64(o.Size)); err == nil {
+			if err = tw.varint(int64(o.Peer)); err == nil {
+				err = tw.uvarint(uint64(o.Tag))
+			}
+		}
+	case Recv:
+		if err = tw.varint(int64(o.Peer)); err == nil {
+			err = tw.uvarint(uint64(o.Tag))
+		}
+	case ARecv:
+		if err = tw.varint(int64(o.Peer)); err == nil {
+			if err = tw.uvarint(uint64(o.Tag)); err == nil {
+				err = tw.uvarint(o.Addr) // arecv handle
+			}
+		}
+	case Compute:
+		err = tw.varint(o.Dur)
+	case WaitRecv:
+		err = tw.uvarint(o.Addr)
+	}
+	if err != nil {
+		return err
+	}
+	tw.count++
+	return nil
+}
+
+// Flush writes any buffered data to the underlying writer.
+func (tw *Writer) Flush() error { return tw.w.Flush() }
+
+// Reader decodes operations from a binary trace stream.
+type Reader struct {
+	r      *bufio.Reader
+	header bool
+	count  uint64
+}
+
+// NewReader creates a trace reader on r.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{r: bufio.NewReader(r)}
+}
+
+// Count returns the number of operations read so far.
+func (tr *Reader) Count() uint64 { return tr.count }
+
+// ErrBadTrace is returned when the stream is not a valid binary trace.
+var ErrBadTrace = errors.New("ops: malformed binary trace")
+
+// Read decodes the next operation. It returns io.EOF cleanly at end of
+// stream, and io.ErrUnexpectedEOF or ErrBadTrace for truncated or corrupt
+// input.
+func (tr *Reader) Read() (Op, error) {
+	if !tr.header {
+		var hdr [4]byte
+		if _, err := io.ReadFull(tr.r, hdr[:]); err != nil {
+			if err == io.ErrUnexpectedEOF {
+				return Op{}, ErrBadTrace
+			}
+			return Op{}, err
+		}
+		if hdr != magic {
+			return Op{}, fmt.Errorf("%w: bad magic %q", ErrBadTrace, hdr)
+		}
+		tr.header = true
+	}
+	kb, err := tr.r.ReadByte()
+	if err != nil {
+		return Op{}, err // io.EOF: clean end
+	}
+	o := Op{Kind: Kind(kb)}
+	fail := func(err error) (Op, error) {
+		if err == io.EOF {
+			return Op{}, io.ErrUnexpectedEOF
+		}
+		return Op{}, err
+	}
+	switch o.Kind {
+	case Load, Store:
+		mb, err := tr.r.ReadByte()
+		if err != nil {
+			return fail(err)
+		}
+		o.Mem = MemType(mb)
+		if o.Addr, err = binary.ReadUvarint(tr.r); err != nil {
+			return fail(err)
+		}
+	case LoadConst, Add, Sub, Mul, Div:
+		db, err := tr.r.ReadByte()
+		if err != nil {
+			return fail(err)
+		}
+		o.Data = DataType(db)
+	case IFetch, Branch, Call, Ret:
+		if o.Addr, err = binary.ReadUvarint(tr.r); err != nil {
+			return fail(err)
+		}
+	case Send, ASend:
+		size, err := binary.ReadUvarint(tr.r)
+		if err != nil {
+			return fail(err)
+		}
+		o.Size = uint32(size)
+		peer, err := binary.ReadVarint(tr.r)
+		if err != nil {
+			return fail(err)
+		}
+		o.Peer = int32(peer)
+		tag, err := binary.ReadUvarint(tr.r)
+		if err != nil {
+			return fail(err)
+		}
+		o.Tag = uint32(tag)
+	case Recv, ARecv:
+		peer, err := binary.ReadVarint(tr.r)
+		if err != nil {
+			return fail(err)
+		}
+		o.Peer = int32(peer)
+		tag, err := binary.ReadUvarint(tr.r)
+		if err != nil {
+			return fail(err)
+		}
+		o.Tag = uint32(tag)
+		if o.Kind == ARecv {
+			if o.Addr, err = binary.ReadUvarint(tr.r); err != nil {
+				return fail(err)
+			}
+		}
+	case Compute:
+		if o.Dur, err = binary.ReadVarint(tr.r); err != nil {
+			return fail(err)
+		}
+	case WaitRecv:
+		if o.Addr, err = binary.ReadUvarint(tr.r); err != nil {
+			return fail(err)
+		}
+	default:
+		return Op{}, fmt.Errorf("%w: unknown kind byte %d", ErrBadTrace, kb)
+	}
+	if err := o.Validate(); err != nil {
+		return Op{}, fmt.Errorf("%w: %v", ErrBadTrace, err)
+	}
+	tr.count++
+	return o, nil
+}
+
+// ParseText parses one operation in the trace text format produced by
+// Op.String. The text format is intended for debugging and small hand-written
+// traces.
+func ParseText(line string) (Op, error) {
+	fields := strings.Fields(line)
+	if len(fields) == 0 {
+		return Op{}, errors.New("ops: empty line")
+	}
+	kind, ok := KindByName(fields[0])
+	if !ok {
+		return Op{}, fmt.Errorf("ops: unknown operation %q", fields[0])
+	}
+	o := Op{Kind: kind}
+	arg := func(i int) (string, error) {
+		if i >= len(fields) {
+			return "", fmt.Errorf("ops: %s: missing argument %d", kind, i)
+		}
+		return fields[i], nil
+	}
+	parseUint := func(s string) (uint64, error) {
+		return strconv.ParseUint(strings.TrimPrefix(s, "0x"), pickBase(s), 64)
+	}
+	switch kind {
+	case Load, Store:
+		ms, err := arg(1)
+		if err != nil {
+			return Op{}, err
+		}
+		m, ok := memTypeByName(ms)
+		if !ok {
+			return Op{}, fmt.Errorf("ops: unknown mem-type %q", ms)
+		}
+		o.Mem = m
+		as, err := arg(2)
+		if err != nil {
+			return Op{}, err
+		}
+		if o.Addr, err = parseUint(as); err != nil {
+			return Op{}, err
+		}
+	case LoadConst, Add, Sub, Mul, Div:
+		ds, err := arg(1)
+		if err != nil {
+			return Op{}, err
+		}
+		d, ok := dataTypeByName(ds)
+		if !ok {
+			return Op{}, fmt.Errorf("ops: unknown data type %q", ds)
+		}
+		o.Data = d
+	case IFetch, Branch, Call, Ret:
+		as, err := arg(1)
+		if err != nil {
+			return Op{}, err
+		}
+		if o.Addr, err = parseUint(as); err != nil {
+			return Op{}, err
+		}
+	case Send, ASend:
+		// "send <size> -> <dst> tag <tag>"
+		ss, err := arg(1)
+		if err != nil {
+			return Op{}, err
+		}
+		size, err := strconv.ParseUint(ss, 10, 32)
+		if err != nil {
+			return Op{}, err
+		}
+		o.Size = uint32(size)
+		ds, err := arg(3)
+		if err != nil {
+			return Op{}, err
+		}
+		dst, err := strconv.ParseInt(ds, 10, 32)
+		if err != nil {
+			return Op{}, err
+		}
+		o.Peer = int32(dst)
+		if len(fields) >= 6 && fields[4] == "tag" {
+			tag, err := strconv.ParseUint(fields[5], 10, 32)
+			if err != nil {
+				return Op{}, err
+			}
+			o.Tag = uint32(tag)
+		}
+	case Recv, ARecv:
+		// "recv <- <src|any> tag <tag>"
+		ss, err := arg(2)
+		if err != nil {
+			return Op{}, err
+		}
+		if ss == "any" {
+			o.Peer = AnyPeer
+		} else {
+			src, err := strconv.ParseInt(ss, 10, 32)
+			if err != nil {
+				return Op{}, err
+			}
+			o.Peer = int32(src)
+		}
+		if len(fields) >= 5 && fields[3] == "tag" {
+			tag, err := strconv.ParseUint(fields[4], 10, 32)
+			if err != nil {
+				return Op{}, err
+			}
+			o.Tag = uint32(tag)
+		}
+	case Compute:
+		ds, err := arg(1)
+		if err != nil {
+			return Op{}, err
+		}
+		if o.Dur, err = strconv.ParseInt(ds, 10, 64); err != nil {
+			return Op{}, err
+		}
+	case WaitRecv:
+		hs, err := arg(1)
+		if err != nil {
+			return Op{}, err
+		}
+		if o.Addr, err = strconv.ParseUint(hs, 10, 64); err != nil {
+			return Op{}, err
+		}
+	}
+	if err := o.Validate(); err != nil {
+		return Op{}, err
+	}
+	return o, nil
+}
+
+func pickBase(s string) int {
+	if strings.HasPrefix(s, "0x") {
+		return 16
+	}
+	return 10
+}
+
+func memTypeByName(s string) (MemType, bool) {
+	for m, n := range memTypeNames {
+		if n == s && MemType(m) != MemNone {
+			return MemType(m), true
+		}
+	}
+	return MemNone, false
+}
+
+func dataTypeByName(s string) (DataType, bool) {
+	for d, n := range dataTypeNames {
+		if n == s && DataType(d) != TypeNone {
+			return DataType(d), true
+		}
+	}
+	return TypeNone, false
+}
+
+// ReadAll decodes an entire binary trace into a slice.
+func ReadAll(r io.Reader) ([]Op, error) {
+	tr := NewReader(r)
+	var out []Op
+	for {
+		o, err := tr.Read()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, o)
+	}
+}
+
+// WriteAll encodes a slice of operations as a binary trace.
+func WriteAll(w io.Writer, trace []Op) error {
+	tw := NewWriter(w)
+	for _, o := range trace {
+		if err := tw.Write(o); err != nil {
+			return err
+		}
+	}
+	return tw.Flush()
+}

@@ -1,0 +1,210 @@
+package ops
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestBinaryRoundTrip(t *testing.T) {
+	trace := TableOne()
+	var buf bytes.Buffer
+	if err := WriteAll(&buf, trace); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(trace) {
+		t.Fatalf("got %d ops, want %d", len(back), len(trace))
+	}
+	for i := range trace {
+		if back[i] != trace[i] {
+			t.Fatalf("op %d: %+v != %+v", i, back[i], trace[i])
+		}
+	}
+}
+
+func TestBinaryCompactness(t *testing.T) {
+	// A typical computational trace should be only a few bytes per op.
+	var trace []Op
+	for i := 0; i < 1000; i++ {
+		trace = append(trace, NewIFetch(uint64(0x400000+4*i)), NewLoad(MemWord, uint64(0x10000+8*i)), NewArith(Add, TypeInt))
+	}
+	var buf bytes.Buffer
+	if err := WriteAll(&buf, trace); err != nil {
+		t.Fatal(err)
+	}
+	perOp := float64(buf.Len()) / float64(len(trace))
+	if perOp > 6 {
+		t.Fatalf("%.1f bytes/op, want <= 6", perOp)
+	}
+}
+
+func TestReaderBadMagic(t *testing.T) {
+	r := NewReader(strings.NewReader("NOPE----"))
+	if _, err := r.Read(); err == nil {
+		t.Fatal("expected bad-magic error")
+	}
+}
+
+func TestReaderTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteAll(&buf, []Op{NewSend(1<<20, 5, 9)}); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	// Chop in the middle of the record.
+	r := NewReader(bytes.NewReader(full[:len(full)-2]))
+	_, err := r.Read()
+	if err != io.ErrUnexpectedEOF {
+		t.Fatalf("err = %v, want unexpected EOF", err)
+	}
+}
+
+func TestReaderEmptyStream(t *testing.T) {
+	r := NewReader(strings.NewReader(""))
+	if _, err := r.Read(); err != io.EOF {
+		t.Fatalf("err = %v, want io.EOF", err)
+	}
+}
+
+func TestReaderUnknownKind(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write(magic[:])
+	buf.WriteByte(250)
+	r := NewReader(&buf)
+	if _, err := r.Read(); err == nil {
+		t.Fatal("expected unknown-kind error")
+	}
+}
+
+func TestWriterRejectsInvalid(t *testing.T) {
+	w := NewWriter(io.Discard)
+	if err := w.Write(Op{Kind: Load}); err == nil {
+		t.Fatal("expected validation error")
+	}
+}
+
+func TestCounts(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for _, o := range TableOne() {
+		if err := w.Write(o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Count() != uint64(len(TableOne())) {
+		t.Fatalf("writer count = %d", w.Count())
+	}
+	r := NewReader(&buf)
+	n := 0
+	for {
+		if _, err := r.Read(); err == io.EOF {
+			break
+		} else if err != nil {
+			t.Fatal(err)
+		}
+		n++
+	}
+	if r.Count() != uint64(n) || n != len(TableOne()) {
+		t.Fatalf("reader count = %d, n = %d", r.Count(), n)
+	}
+}
+
+func TestBinaryCarriesARecvHandleAndWaitRecv(t *testing.T) {
+	arecv := NewARecv(3, 7)
+	arecv.Addr = 99 // handle
+	trace := []Op{arecv, NewWaitRecv(99)}
+	var buf bytes.Buffer
+	if err := WriteAll(&buf, trace); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back[0] != trace[0] || back[1] != trace[1] {
+		t.Fatalf("round trip lost handle: %+v", back)
+	}
+}
+
+func TestTextRoundTrip(t *testing.T) {
+	for _, o := range TableOne() {
+		back, err := ParseText(o.String())
+		if err != nil {
+			t.Fatalf("%s: %v", o, err)
+		}
+		if back != o {
+			t.Fatalf("text round trip: %+v != %+v", back, o)
+		}
+	}
+}
+
+func TestParseTextErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"frobnicate",
+		"load",
+		"load x 0x10",
+		"load w zzz",
+		"send abc -> 3",
+		"compute",
+		"compute -5",
+		"recv <- -7",
+	}
+	for _, line := range bad {
+		if _, err := ParseText(line); err == nil {
+			t.Errorf("ParseText(%q): expected error", line)
+		}
+	}
+}
+
+// Property: any structurally valid operation survives a binary round trip.
+func TestBinaryRoundTripProperty(t *testing.T) {
+	f := func(kindSel uint8, mem, data uint8, addr uint64, size uint32, peer int32, tag uint32, dur int64) bool {
+		kinds := []Kind{Load, Store, LoadConst, Add, Sub, Mul, Div, IFetch, Branch, Call, Ret, Send, Recv, ASend, ARecv, Compute}
+		k := kinds[int(kindSel)%len(kinds)]
+		o := Op{Kind: k}
+		switch {
+		case k == Load || k == Store:
+			o.Mem = MemType(mem%uint8(NumMemTypes-1)) + 1
+			o.Addr = addr
+		case k.IsArithmetic() || k == LoadConst:
+			o.Data = DataType(data%uint8(NumDataTypes-1)) + 1
+		case k.IsControl():
+			o.Addr = addr
+		case k == Send || k == ASend:
+			o.Size = size | 1 // non-zero
+			o.Peer = int32(uint32(peer) % (1 << 20))
+			o.Tag = tag
+		case k == Recv || k == ARecv:
+			if peer%2 == 0 {
+				o.Peer = AnyPeer
+			} else {
+				o.Peer = int32(uint32(peer) % (1 << 20))
+			}
+			o.Tag = tag
+		case k == Compute:
+			o.Dur = dur & (1<<40 - 1) // non-negative
+		}
+		if err := o.Validate(); err != nil {
+			return true // skip: not a valid op under this draw
+		}
+		var buf bytes.Buffer
+		if err := WriteAll(&buf, []Op{o}); err != nil {
+			return false
+		}
+		back, err := ReadAll(&buf)
+		return err == nil && len(back) == 1 && back[0] == o
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

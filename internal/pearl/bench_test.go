@@ -1,0 +1,114 @@
+package pearl
+
+import "testing"
+
+// The kernel's primitive costs bound every simulation's speed; these
+// benchmarks document them.
+
+func BenchmarkEventThroughput(b *testing.B) {
+	k := NewKernel()
+	n := 0
+	var fn func()
+	fn = func() {
+		n++
+		if n < b.N {
+			k.After(1, fn)
+		}
+	}
+	k.After(1, fn)
+	b.ResetTimer()
+	k.Run()
+	if n != b.N {
+		b.Fatalf("ran %d events, want %d", n, b.N)
+	}
+}
+
+func BenchmarkEventHeap(b *testing.B) {
+	// Many pending events: heap reordering cost.
+	k := NewKernel()
+	const pending = 1024
+	seed := NewRNG(1)
+	for i := 0; i < pending; i++ {
+		d := Time(seed.Intn(1000) + 1)
+		var fn func()
+		fn = func() { k.After(Time(seed.Intn(1000)+1), fn) }
+		k.At(d, fn)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.step()
+	}
+}
+
+func BenchmarkProcessHandoff(b *testing.B) {
+	k := NewKernel()
+	k.Spawn("holder", func(p *Process) {
+		for i := 0; i < b.N; i++ {
+			p.Hold(1)
+		}
+	})
+	b.ResetTimer()
+	k.Run()
+}
+
+func BenchmarkMailboxPingPong(b *testing.B) {
+	k := NewKernel()
+	a := k.NewMailbox("a")
+	c := k.NewMailbox("b")
+	k.Spawn("ping", func(p *Process) {
+		for i := 0; i < b.N; i++ {
+			c.Send(i)
+			p.Receive(a)
+		}
+	})
+	k.Spawn("pong", func(p *Process) {
+		for i := 0; i < b.N; i++ {
+			p.Receive(c)
+			a.Send(i)
+		}
+	})
+	b.ResetTimer()
+	k.Run()
+}
+
+func BenchmarkResourceAcquireRelease(b *testing.B) {
+	k := NewKernel()
+	r := k.NewResource("r", 1)
+	k.Spawn("user", func(p *Process) {
+		for i := 0; i < b.N; i++ {
+			p.Acquire(r)
+			r.Release()
+		}
+	})
+	b.ResetTimer()
+	k.Run()
+}
+
+func BenchmarkSynchronousCall(b *testing.B) {
+	k := NewKernel()
+	mb := k.NewMailbox("srv")
+	k.Spawn("server", func(p *Process) {
+		for i := 0; i < b.N; i++ {
+			c := p.Receive(mb).(*CallMsg)
+			c.Reply(c.Req)
+		}
+	})
+	k.Spawn("client", func(p *Process) {
+		for i := 0; i < b.N; i++ {
+			p.Call(mb, i)
+		}
+	})
+	b.ResetTimer()
+	k.Run()
+}
+
+func BenchmarkRNG(b *testing.B) {
+	r := NewRNG(1)
+	var x uint64
+	for i := 0; i < b.N; i++ {
+		x ^= r.Uint64()
+	}
+	if x == 42 {
+		b.Log("unlikely")
+	}
+}

@@ -1,0 +1,207 @@
+// Package pearl provides the discrete-event simulation kernel that the
+// Mermaid architecture models are written in. It is a Go substitute for the
+// Pearl object-oriented simulation language used by the original system
+// (Muller, "Simulating computer architectures", 1993): simulation models are
+// expressed as communicating processes that exchange messages in virtual
+// time, with both synchronous (call/reply) and asynchronous message passing.
+//
+// The kernel is strictly deterministic: events at equal virtual times fire in
+// schedule order, and at most one process goroutine runs at any moment. Given
+// identical inputs, a simulation produces identical traces and statistics,
+// which the trace-validity guarantees of the environment rely on.
+package pearl
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is virtual simulation time, measured in cycles of the simulated
+// machine's base clock. It is a signed integer so that durations and
+// differences are safe to compute; negative absolute times never occur.
+type Time int64
+
+// Forever is a virtual time later than any time a simulation can reach.
+const Forever Time = 1<<63 - 1
+
+// event is a scheduled callback in virtual time.
+type event struct {
+	at  Time
+	seq uint64 // tie-breaker: FIFO among equal times
+	fn  func()
+	idx int // heap index, -1 if popped/cancelled
+}
+
+// eventHeap orders events by (time, sequence).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.idx = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.idx = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Timer is a handle to a scheduled event that can be cancelled.
+type Timer struct {
+	k  *Kernel
+	ev *event
+}
+
+// Cancel removes the event from the schedule. Cancelling an already-fired or
+// already-cancelled timer is a no-op. It reports whether the event was still
+// pending.
+func (t *Timer) Cancel() bool {
+	if t == nil || t.ev == nil || t.ev.idx < 0 {
+		return false
+	}
+	heap.Remove(&t.k.events, t.ev.idx)
+	t.ev.fn = nil
+	return true
+}
+
+// Pending reports whether the timer's event has not yet fired or been
+// cancelled.
+func (t *Timer) Pending() bool { return t != nil && t.ev != nil && t.ev.idx >= 0 }
+
+// Kernel is a discrete-event simulation engine. The zero value is not usable;
+// create kernels with NewKernel.
+type Kernel struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+	procs  []*Process
+
+	// current is the process whose goroutine currently has control, or nil
+	// when the kernel itself (an event callback) is running.
+	current *Process
+
+	eventCount uint64
+	stopped    bool
+}
+
+// NewKernel returns an empty kernel at virtual time zero.
+func NewKernel() *Kernel {
+	return &Kernel{}
+}
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() Time { return k.now }
+
+// EventCount returns the number of events executed so far; useful as a cheap
+// progress and cost metric.
+func (k *Kernel) EventCount() uint64 { return k.eventCount }
+
+// At schedules fn to run at absolute virtual time t, which must not be in the
+// past. It returns a cancellable Timer.
+func (k *Kernel) At(t Time, fn func()) *Timer {
+	if t < k.now {
+		panic(fmt.Sprintf("pearl: scheduling event at %d, before current time %d", t, k.now))
+	}
+	ev := &event{at: t, seq: k.seq, fn: fn}
+	k.seq++
+	heap.Push(&k.events, ev)
+	return &Timer{k: k, ev: ev}
+}
+
+// After schedules fn to run d cycles from now. Negative d panics.
+func (k *Kernel) After(d Time, fn func()) *Timer {
+	if d < 0 {
+		panic(fmt.Sprintf("pearl: negative delay %d", d))
+	}
+	return k.At(k.now+d, fn)
+}
+
+// Stop makes Run return after the currently executing event completes.
+func (k *Kernel) Stop() { k.stopped = true }
+
+// step executes the next scheduled event. It reports false when the schedule
+// is empty.
+func (k *Kernel) step() bool {
+	for len(k.events) > 0 {
+		ev := heap.Pop(&k.events).(*event)
+		if ev.fn == nil { // cancelled
+			continue
+		}
+		if ev.at < k.now {
+			panic("pearl: time went backwards")
+		}
+		k.now = ev.at
+		k.eventCount++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the schedule is empty or Stop is called. It
+// returns the final virtual time.
+func (k *Kernel) Run() Time {
+	k.stopped = false
+	for !k.stopped && k.step() {
+	}
+	return k.now
+}
+
+// RunUntil executes events with timestamps <= t, then sets the clock to t if
+// the simulation got that far. It returns the final virtual time.
+func (k *Kernel) RunUntil(t Time) Time {
+	k.stopped = false
+	for !k.stopped {
+		if len(k.events) == 0 {
+			break
+		}
+		if next := k.peekTime(); next > t {
+			k.now = t
+			return k.now
+		}
+		k.step()
+	}
+	if k.now < t && len(k.events) == 0 {
+		k.now = t
+	}
+	return k.now
+}
+
+func (k *Kernel) peekTime() Time {
+	return k.events[0].at
+}
+
+// Idle reports whether no events remain scheduled.
+func (k *Kernel) Idle() bool { return len(k.events) == 0 }
+
+// Blocked returns the processes that are alive but have no pending event to
+// resume them: with an idle kernel these are deadlocked (or waiting on
+// external input). Intended for diagnostics at end of simulation.
+func (k *Kernel) Blocked() []*Process {
+	var out []*Process
+	for _, p := range k.procs {
+		if !p.terminated && !p.runnable {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Processes returns all processes ever spawned on this kernel.
+func (k *Kernel) Processes() []*Process { return k.procs }

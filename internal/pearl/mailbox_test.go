@@ -1,0 +1,188 @@
+package pearl
+
+import (
+	"testing"
+)
+
+func TestMailboxFIFO(t *testing.T) {
+	k := NewKernel()
+	mb := k.NewMailbox("fifo")
+	var got []int
+	k.Spawn("producer", func(p *Process) {
+		for i := 0; i < 5; i++ {
+			mb.Send(i)
+			p.Hold(1)
+		}
+	})
+	k.Spawn("consumer", func(p *Process) {
+		for i := 0; i < 5; i++ {
+			got = append(got, p.Receive(mb).(int))
+		}
+	})
+	k.Run()
+	for i := 0; i < 5; i++ {
+		if got[i] != i {
+			t.Fatalf("got = %v, want 0..4 in order", got)
+		}
+	}
+}
+
+func TestMailboxSendAfter(t *testing.T) {
+	k := NewKernel()
+	mb := k.NewMailbox("delayed")
+	var when Time
+	k.Spawn("consumer", func(p *Process) {
+		p.Receive(mb)
+		when = p.Now()
+	})
+	mb.SendAfter(42, "late")
+	k.Run()
+	if when != 42 {
+		t.Fatalf("received at %d, want 42", when)
+	}
+}
+
+func TestMailboxBlocksUntilMessage(t *testing.T) {
+	k := NewKernel()
+	mb := k.NewMailbox("block")
+	var when Time = -1
+	k.Spawn("consumer", func(p *Process) {
+		p.Receive(mb)
+		when = p.Now()
+	})
+	k.Spawn("producer", func(p *Process) {
+		p.Hold(100)
+		mb.Send("go")
+	})
+	k.Run()
+	if when != 100 {
+		t.Fatalf("consumer resumed at %d, want 100", when)
+	}
+}
+
+func TestMailboxMultipleWaitersNoLostWakeup(t *testing.T) {
+	k := NewKernel()
+	mb := k.NewMailbox("m")
+	served := 0
+	for i := 0; i < 4; i++ {
+		k.Spawn("consumer", func(p *Process) {
+			p.Receive(mb)
+			served++
+		})
+	}
+	k.Spawn("producer", func(p *Process) {
+		p.Hold(1)
+		// Burst: all four messages at the same instant.
+		for i := 0; i < 4; i++ {
+			mb.Send(i)
+		}
+	})
+	k.Run()
+	if served != 4 {
+		t.Fatalf("served = %d, want 4 (lost wakeup)", served)
+	}
+	if len(k.Blocked()) != 0 {
+		t.Fatalf("blocked processes remain: %v", k.Blocked())
+	}
+}
+
+func TestTryReceive(t *testing.T) {
+	k := NewKernel()
+	mb := k.NewMailbox("try")
+	if _, ok := mb.TryReceive(); ok {
+		t.Fatal("TryReceive on empty mailbox succeeded")
+	}
+	mb.Send(7)
+	v, ok := mb.TryReceive()
+	if !ok || v.(int) != 7 {
+		t.Fatalf("TryReceive = %v, %v", v, ok)
+	}
+}
+
+func TestReceiveAny(t *testing.T) {
+	k := NewKernel()
+	a := k.NewMailbox("a")
+	b := k.NewMailbox("b")
+	var idx int
+	var val any
+	var when Time
+	k.Spawn("consumer", func(p *Process) {
+		idx, val = p.ReceiveAny(a, b)
+		when = p.Now()
+	})
+	k.Spawn("producer", func(p *Process) {
+		p.Hold(30)
+		b.Send("from-b")
+	})
+	k.Run()
+	if idx != 1 || val != "from-b" || when != 30 {
+		t.Fatalf("ReceiveAny = (%d, %v) at %d", idx, val, when)
+	}
+}
+
+func TestReceiveAnyPrefersFirstNonEmpty(t *testing.T) {
+	k := NewKernel()
+	a := k.NewMailbox("a")
+	b := k.NewMailbox("b")
+	a.Send(1)
+	b.Send(2)
+	var idx int
+	k.Spawn("consumer", func(p *Process) {
+		idx, _ = p.ReceiveAny(a, b)
+	})
+	k.Run()
+	if idx != 0 {
+		t.Fatalf("idx = %d, want 0 (argument order preference)", idx)
+	}
+	if a.Len() != 0 || b.Len() != 1 {
+		t.Fatalf("queue lengths %d/%d, want 0/1", a.Len(), b.Len())
+	}
+}
+
+func TestReceiveAnyRemovesStaleWaiters(t *testing.T) {
+	k := NewKernel()
+	a := k.NewMailbox("a")
+	b := k.NewMailbox("b")
+	done := 0
+	// p1 waits on both, gets a message from a, and terminates. A later
+	// message on b must wake p2, not be swallowed by p1's stale registration.
+	k.Spawn("p1", func(p *Process) {
+		p.ReceiveAny(a, b)
+		done++
+	})
+	k.Spawn("p2", func(p *Process) {
+		p.Hold(1)
+		p.Receive(b)
+		done++
+	})
+	k.Spawn("producer", func(p *Process) {
+		p.Hold(2)
+		a.Send("x")
+		p.Hold(2)
+		b.Send("y")
+	})
+	k.Run()
+	if done != 2 {
+		t.Fatalf("done = %d, want 2", done)
+	}
+}
+
+func TestMailboxStats(t *testing.T) {
+	k := NewKernel()
+	mb := k.NewMailbox("stats")
+	k.Spawn("producer", func(p *Process) {
+		for i := 0; i < 3; i++ {
+			mb.Send(i)
+		}
+	})
+	k.Spawn("consumer", func(p *Process) {
+		p.Hold(5)
+		for i := 0; i < 3; i++ {
+			p.Receive(mb)
+		}
+	})
+	k.Run()
+	if mb.Sent() != 3 || mb.Received() != 3 || mb.MaxDepth() != 3 {
+		t.Fatalf("stats sent=%d recv=%d max=%d, want 3/3/3", mb.Sent(), mb.Received(), mb.MaxDepth())
+	}
+}

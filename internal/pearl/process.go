@@ -1,0 +1,176 @@
+package pearl
+
+import "fmt"
+
+// Process is a simulation process: a goroutine whose execution is
+// interleaved with virtual time under strict kernel control. Model code
+// inside a process body is written in a blocking style (Hold, Receive,
+// Acquire, Await); the kernel guarantees that exactly one process runs at a
+// time, so process bodies need no locking.
+type Process struct {
+	k    *Kernel
+	name string
+	id   int
+
+	resume chan struct{} // kernel -> process handoff
+	yield  chan struct{} // process -> kernel handoff
+
+	terminated  bool
+	runnable    bool // currently running or has a pending activation
+	wakePending bool
+	wakeEpoch   uint64 // invalidates stale wake events (see rescheduleFirst)
+	blockReason string
+
+	// OnPanic, if set, is invoked (in the kernel's goroutine) when the
+	// process body panics. The default is to re-panic with the process name.
+	OnPanic func(v any)
+
+	panicVal any
+	panicked bool
+}
+
+// Spawn creates a process named name running body and schedules its first
+// activation at the current virtual time. The body starts parked; it will not
+// run before control returns to the kernel loop.
+func (k *Kernel) Spawn(name string, body func(p *Process)) *Process {
+	p := &Process{
+		k:      k,
+		name:   name,
+		id:     len(k.procs),
+		resume: make(chan struct{}),
+		yield:  make(chan struct{}),
+	}
+	k.procs = append(k.procs, p)
+	go func() {
+		<-p.resume
+		defer func() {
+			if v := recover(); v != nil {
+				p.panicked = true
+				p.panicVal = v
+			}
+			p.terminated = true
+			p.yield <- struct{}{}
+		}()
+		body(p)
+	}()
+	p.scheduleWake(0)
+	return p
+}
+
+// SpawnAt is Spawn with the first activation delayed until absolute time t.
+func (k *Kernel) SpawnAt(t Time, name string, body func(p *Process)) *Process {
+	p := k.Spawn(name, body)
+	// Spawn scheduled an immediate wake; move it.
+	// (The pending wake is always the immediate one here.)
+	return p.rescheduleFirst(t)
+}
+
+func (p *Process) rescheduleFirst(t Time) *Process {
+	// Cancel the immediate activation and schedule at t. Only valid right
+	// after Spawn, before the kernel loop runs.
+	p.wakePending = false
+	p.runnable = false
+	// The immediate event is still in the heap; neutralize it by making the
+	// wakePending check fail is not possible since the event closure calls
+	// activate directly. Instead we rely on wakeEvent checking wakeEpoch.
+	p.wakeEpoch++
+	p.scheduleWakeAt(t)
+	return p
+}
+
+// Name returns the process name.
+func (p *Process) Name() string { return p.name }
+
+// Kernel returns the kernel this process runs on.
+func (p *Process) Kernel() *Kernel { return p.k }
+
+// Now returns the current virtual time.
+func (p *Process) Now() Time { return p.k.now }
+
+// Terminated reports whether the process body has returned.
+func (p *Process) Terminated() bool { return p.terminated }
+
+// BlockReason returns a short description of what the process is currently
+// blocked on; empty if running or terminated. For diagnostics.
+func (p *Process) BlockReason() string { return p.blockReason }
+
+// String implements fmt.Stringer.
+func (p *Process) String() string {
+	return fmt.Sprintf("process %q (#%d)", p.name, p.id)
+}
+
+// activate hands control to the process goroutine and waits for it to block
+// or terminate. Must be called from the kernel loop (event context).
+func (k *Kernel) activate(p *Process) {
+	if p.terminated {
+		return
+	}
+	prev := k.current
+	k.current = p
+	p.runnable = true
+	p.blockReason = ""
+	p.resume <- struct{}{}
+	<-p.yield
+	k.current = prev
+	if p.panicked {
+		if p.OnPanic != nil {
+			p.OnPanic(p.panicVal)
+		} else {
+			panic(fmt.Sprintf("pearl: %v panicked: %v", p, p.panicVal))
+		}
+	}
+}
+
+// block parks the process goroutine and returns control to the kernel. It
+// returns when the process is next activated.
+func (p *Process) block(reason string) {
+	if p.k.current != p {
+		panic(fmt.Sprintf("pearl: %v blocking while not the running process", p))
+	}
+	p.runnable = false
+	p.blockReason = reason
+	p.yield <- struct{}{}
+	<-p.resume
+	p.runnable = true
+	p.blockReason = ""
+}
+
+// scheduleWake schedules an activation of p after delay d, unless an
+// activation is already pending (wakes are idempotent).
+func (p *Process) scheduleWake(d Time) {
+	p.scheduleWakeAt(p.k.now + d)
+}
+
+func (p *Process) scheduleWakeAt(t Time) {
+	if p.wakePending || p.terminated {
+		return
+	}
+	p.wakePending = true
+	p.runnable = true
+	epoch := p.wakeEpoch
+	p.k.At(t, func() {
+		if epoch != p.wakeEpoch {
+			return // stale wake, invalidated by rescheduleFirst
+		}
+		p.wakePending = false
+		p.k.activate(p)
+	})
+}
+
+// Hold advances the process's virtual time by d cycles, yielding control to
+// the kernel meanwhile. Hold(0) yields and resumes at the same time but after
+// all events already scheduled at the current instant.
+func (p *Process) Hold(d Time) {
+	if d < 0 {
+		panic(fmt.Sprintf("pearl: %v Hold(%d): negative duration", p, d))
+	}
+	p.k.After(d, func() { p.k.activate(p) })
+	p.block("hold")
+}
+
+// park blocks until some other component calls unpark (via scheduleWake).
+// It is the building block of Receive/Acquire/Await.
+func (p *Process) park(reason string) { p.block(reason) }
+
+// unpark schedules the process to resume at the current virtual time.
+func (p *Process) unpark() { p.scheduleWake(0) }

@@ -1,0 +1,225 @@
+package stats
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Table is an aligned ASCII table builder, the workhorse of the analysis
+// tools' terminal output.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(header ...string) *Table {
+	return &Table{header: header}
+}
+
+// Row appends a row; cells are formatted with %v.
+func (t *Table) Row(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = FormatFloat(v)
+		default:
+			row[i] = fmt.Sprint(c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// FormatFloat renders a float compactly: integers without decimals, small
+// magnitudes with enough precision to be useful.
+func FormatFloat(v float64) string {
+	if v == float64(int64(v)) && v < 1e15 && v > -1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	a := v
+	if a < 0 {
+		a = -a
+	}
+	switch {
+	case a >= 100:
+		return strconv.FormatFloat(v, 'f', 1, 64)
+	case a >= 1:
+		return strconv.FormatFloat(v, 'f', 2, 64)
+	default:
+		return strconv.FormatFloat(v, 'g', 4, 64)
+	}
+}
+
+// Render writes the table, space-aligned with a rule under the header.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) string {
+		var b strings.Builder
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(cell)
+			if i < len(cells)-1 {
+				b.WriteString(strings.Repeat(" ", widths[i]-len(cell)))
+			}
+		}
+		return b.String()
+	}
+	if _, err := fmt.Fprintln(w, line(t.header)); err != nil {
+		return err
+	}
+	total := 0
+	for i, wd := range widths {
+		total += wd
+		if i > 0 {
+			total += 2
+		}
+	}
+	if _, err := fmt.Fprintln(w, strings.Repeat("-", total)); err != nil {
+		return err
+	}
+	for _, row := range t.rows {
+		if _, err := fmt.Fprintln(w, line(row)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RenderCSV writes the table as CSV for post-mortem analysis in external
+// tools.
+func (t *Table) RenderCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.header); err != nil {
+		return err
+	}
+	for _, row := range t.rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// RenderSet writes a metric set (and its subsets, indented) as
+// "name: value unit" lines.
+func RenderSet(w io.Writer, s *Set) error {
+	return renderSet(w, s, 0)
+}
+
+func renderSet(w io.Writer, s *Set, depth int) error {
+	indent := strings.Repeat("  ", depth)
+	if _, err := fmt.Fprintf(w, "%s%s\n", indent, s.Name); err != nil {
+		return err
+	}
+	for _, m := range s.Metrics {
+		unit := m.Unit
+		if unit != "" {
+			unit = " " + unit
+		}
+		if _, err := fmt.Fprintf(w, "%s  %-28s %s%s\n", indent, m.Name, FormatFloat(m.Value), unit); err != nil {
+			return err
+		}
+	}
+	for _, sub := range s.Subsets {
+		if err := renderSet(w, sub, depth+1); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// BarChart renders labelled values as a horizontal ASCII bar chart, scaled to
+// width characters for the largest value.
+func BarChart(w io.Writer, title string, labels []string, values []float64, width int) error {
+	if len(labels) != len(values) {
+		return fmt.Errorf("stats: %d labels for %d values", len(labels), len(values))
+	}
+	if width <= 0 {
+		width = 50
+	}
+	if _, err := fmt.Fprintln(w, title); err != nil {
+		return err
+	}
+	var max float64
+	labelW := 0
+	for i, v := range values {
+		if v > max {
+			max = v
+		}
+		if len(labels[i]) > labelW {
+			labelW = len(labels[i])
+		}
+	}
+	for i, v := range values {
+		n := 0
+		if max > 0 {
+			n = int(v / max * float64(width))
+		}
+		if v > 0 && n == 0 {
+			n = 1
+		}
+		if _, err := fmt.Fprintf(w, "  %-*s |%s %s\n", labelW, labels[i], strings.Repeat("#", n), FormatFloat(v)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Sparkline renders a series as a compact one-line plot using block glyphs.
+func Sparkline(values []float64) string {
+	if len(values) == 0 {
+		return ""
+	}
+	glyphs := []rune("▁▂▃▄▅▆▇█")
+	min, max := values[0], values[0]
+	for _, v := range values {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	var b strings.Builder
+	for _, v := range values {
+		idx := 0
+		if max > min {
+			idx = int((v - min) / (max - min) * float64(len(glyphs)-1))
+		}
+		b.WriteRune(glyphs[idx])
+	}
+	return b.String()
+}
+
+// RenderHistogram writes a histogram's non-empty buckets as a bar chart.
+func RenderHistogram(w io.Writer, title string, h *Histogram, width int) error {
+	rows := h.Buckets()
+	labels := make([]string, len(rows))
+	values := make([]float64, len(rows))
+	for i, r := range rows {
+		if r[0] == r[1] {
+			labels[i] = fmt.Sprintf("%d", r[0])
+		} else {
+			labels[i] = fmt.Sprintf("%d-%d", r[0], r[1])
+		}
+		values[i] = float64(r[2])
+	}
+	return BarChart(w, title, labels, values, width)
+}

@@ -1,0 +1,134 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("name", "value")
+	tb.Row("alpha", 1.5)
+	tb.Row("b", 100)
+	var sb strings.Builder
+	if err := tb.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "name") || !strings.Contains(lines[0], "value") {
+		t.Fatalf("header wrong: %q", lines[0])
+	}
+	if !strings.Contains(lines[2], "alpha") || !strings.Contains(lines[2], "1.50") {
+		t.Fatalf("row wrong: %q", lines[2])
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("a", "b")
+	tb.Row(1, 2)
+	var sb strings.Builder
+	if err := tb.RenderCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if sb.String() != "a,b\n1,2\n" {
+		t.Fatalf("csv = %q", sb.String())
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := map[float64]string{
+		3:       "3",
+		1.5:     "1.50",
+		123.456: "123.5",
+		0.123:   "0.123",
+	}
+	for v, want := range cases {
+		if got := FormatFloat(v); got != want {
+			t.Errorf("FormatFloat(%v) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestRenderSet(t *testing.T) {
+	s := NewSet("machine")
+	s.Put("cycles", 1000, "cyc")
+	s.Sub("node0").Put("ipc", 0.8, "")
+	var sb strings.Builder
+	if err := RenderSet(&sb, s); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"machine", "cycles", "1000 cyc", "node0", "ipc"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestBarChart(t *testing.T) {
+	var sb strings.Builder
+	err := BarChart(&sb, "hits", []string{"L1", "L2"}, []float64{100, 50}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "##########") {
+		t.Fatalf("largest bar not full width:\n%s", out)
+	}
+	if !strings.Contains(out, "#####") {
+		t.Fatalf("half bar missing:\n%s", out)
+	}
+}
+
+func TestBarChartMismatch(t *testing.T) {
+	if err := BarChart(&strings.Builder{}, "t", []string{"a"}, nil, 10); err == nil {
+		t.Fatal("expected error for mismatched lengths")
+	}
+}
+
+func TestBarChartSmallNonZeroVisible(t *testing.T) {
+	var sb strings.Builder
+	if err := BarChart(&sb, "t", []string{"big", "tiny"}, []float64{1000, 1}, 20); err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(sb.String(), "\n") {
+		if strings.Contains(line, "tiny") && !strings.Contains(line, "#") {
+			t.Fatal("non-zero value rendered with no bar")
+		}
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	if Sparkline(nil) != "" {
+		t.Fatal("empty sparkline should be empty string")
+	}
+	s := Sparkline([]float64{0, 1, 2, 3})
+	if len([]rune(s)) != 4 {
+		t.Fatalf("sparkline length = %d, want 4", len([]rune(s)))
+	}
+	flat := Sparkline([]float64{5, 5, 5})
+	runes := []rune(flat)
+	if runes[0] != runes[1] || runes[1] != runes[2] {
+		t.Fatal("flat series should render identical glyphs")
+	}
+}
+
+func TestRenderHistogram(t *testing.T) {
+	var h Histogram
+	for _, v := range []int64{1, 2, 2, 3, 8, 9} {
+		h.Observe(v)
+	}
+	var sb strings.Builder
+	if err := RenderHistogram(&sb, "latency", &h, 20); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "latency") {
+		t.Fatal("title missing")
+	}
+	if !strings.Contains(sb.String(), "8-15") {
+		t.Fatalf("bucket label missing:\n%s", sb.String())
+	}
+}

@@ -1,0 +1,300 @@
+// Package stats provides the measurement and analysis side of the workbench:
+// counters, histograms and time series collected by the architecture models,
+// plus the tabular / chart / CSV renderers that stand in for Mermaid's
+// visualisation and analysis tool suite.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Counter is a monotonically increasing event count.
+type Counter struct {
+	n uint64
+}
+
+// Inc adds 1 to the counter.
+func (c *Counter) Inc() { c.n++ }
+
+// Add adds d to the counter.
+func (c *Counter) Add(d uint64) { c.n += d }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.n }
+
+// Ratio returns c/total as a float, or 0 when total is 0.
+func Ratio(c, total uint64) float64 {
+	if total == 0 {
+		return 0
+	}
+	return float64(c) / float64(total)
+}
+
+// Histogram accumulates int64 samples in power-of-two buckets; bucket i holds
+// samples in [2^(i-1), 2^i) with bucket 0 holding zero and negative samples.
+// It also tracks exact count, sum, min and max, so Mean is exact while
+// percentiles are bucket-resolution estimates.
+type Histogram struct {
+	buckets [65]uint64
+	count   uint64
+	sum     int64
+	min     int64
+	max     int64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v int64) {
+	if h.count == 0 {
+		h.min, h.max = v, v
+	} else {
+		if v < h.min {
+			h.min = v
+		}
+		if v > h.max {
+			h.max = v
+		}
+	}
+	h.count++
+	h.sum += v
+	h.buckets[bucketOf(v)]++
+}
+
+func bucketOf(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	b := 1
+	for x := v; x > 1; x >>= 1 {
+		b++
+	}
+	if b > 64 {
+		b = 64
+	}
+	return b
+}
+
+// Count returns the number of samples.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Sum returns the sum of all samples.
+func (h *Histogram) Sum() int64 { return h.sum }
+
+// Min and Max return the extreme samples (0 if empty).
+func (h *Histogram) Min() int64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the largest sample (0 if empty).
+func (h *Histogram) Max() int64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.max
+}
+
+// Mean returns the exact mean of the samples (0 if empty).
+func (h *Histogram) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.count)
+}
+
+// Percentile returns an upper-bound estimate of the p-quantile (p in [0,1])
+// at bucket resolution: the upper edge of the bucket containing it, clamped
+// to the observed max.
+func (h *Histogram) Percentile(p float64) int64 {
+	if h.count == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	target := uint64(math.Ceil(p * float64(h.count)))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for i, n := range h.buckets {
+		cum += n
+		if cum >= target {
+			var hi int64
+			if i == 0 {
+				hi = 0
+			} else {
+				hi = int64(1) << uint(i-1)
+				// upper edge of [2^(i-1), 2^i): report 2^i - 1
+				hi = hi*2 - 1
+			}
+			if hi > h.max {
+				hi = h.max
+			}
+			if hi < h.min {
+				hi = h.min
+			}
+			return hi
+		}
+	}
+	return h.max
+}
+
+// Buckets returns the non-empty buckets as (lowEdge, highEdge, count) rows,
+// for rendering.
+func (h *Histogram) Buckets() [][3]int64 {
+	var rows [][3]int64
+	for i, n := range h.buckets {
+		if n == 0 {
+			continue
+		}
+		var lo, hi int64
+		if i == 0 {
+			lo, hi = 0, 0
+		} else {
+			lo = int64(1) << uint(i-1)
+			hi = lo*2 - 1
+		}
+		rows = append(rows, [3]int64{lo, hi, int64(n)})
+	}
+	return rows
+}
+
+// Series is a sampled time series of float64 values at int64 (virtual time)
+// positions, for run-time visualisation and post-mortem plotting.
+type Series struct {
+	Name string
+	T    []int64
+	V    []float64
+}
+
+// Append adds a sample at time t.
+func (s *Series) Append(t int64, v float64) {
+	s.T = append(s.T, t)
+	s.V = append(s.V, v)
+}
+
+// Len returns the number of samples.
+func (s *Series) Len() int { return len(s.T) }
+
+// Summary computes the min/mean/max of the series values.
+func (s *Series) Summary() (min, mean, max float64) {
+	if len(s.V) == 0 {
+		return 0, 0, 0
+	}
+	min, max = s.V[0], s.V[0]
+	var sum float64
+	for _, v := range s.V {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+		sum += v
+	}
+	return min, sum / float64(len(s.V)), max
+}
+
+// Metric is a named measurement in a report: a float value with a unit.
+type Metric struct {
+	Name  string
+	Value float64
+	Unit  string
+}
+
+// Set is an ordered collection of metrics for one component (e.g. one cache
+// level, one link). Sets nest to form a full simulation report.
+type Set struct {
+	Name    string
+	Metrics []Metric
+	Subsets []*Set
+}
+
+// NewSet creates a named, empty metric set.
+func NewSet(name string) *Set { return &Set{Name: name} }
+
+// Put appends a metric (keeping insertion order; duplicate names are
+// overwritten in place).
+func (s *Set) Put(name string, value float64, unit string) {
+	for i := range s.Metrics {
+		if s.Metrics[i].Name == name {
+			s.Metrics[i].Value = value
+			s.Metrics[i].Unit = unit
+			return
+		}
+	}
+	s.Metrics = append(s.Metrics, Metric{name, value, unit})
+}
+
+// PutInt appends an integer-valued metric.
+func (s *Set) PutInt(name string, value int64, unit string) {
+	s.Put(name, float64(value), unit)
+}
+
+// Get returns the named metric value; ok is false if absent.
+func (s *Set) Get(name string) (float64, bool) {
+	for _, m := range s.Metrics {
+		if m.Name == name {
+			return m.Value, true
+		}
+	}
+	return 0, false
+}
+
+// MustGet returns the named metric value, panicking if absent: use in tests
+// and experiment harnesses where the metric is known to exist.
+func (s *Set) MustGet(name string) float64 {
+	v, ok := s.Get(name)
+	if !ok {
+		panic(fmt.Sprintf("stats: set %q has no metric %q", s.Name, name))
+	}
+	return v
+}
+
+// Sub returns (creating if needed) the named subset.
+func (s *Set) Sub(name string) *Set {
+	for _, sub := range s.Subsets {
+		if sub.Name == name {
+			return sub
+		}
+	}
+	sub := NewSet(name)
+	s.Subsets = append(s.Subsets, sub)
+	return sub
+}
+
+// Lookup resolves a path like "node0/cache.L1D" through nested subsets,
+// returning nil if any component is missing.
+func (s *Set) Lookup(path ...string) *Set {
+	cur := s
+	for _, name := range path {
+		var next *Set
+		for _, sub := range cur.Subsets {
+			if sub.Name == name {
+				next = sub
+				break
+			}
+		}
+		if next == nil {
+			return nil
+		}
+		cur = next
+	}
+	return cur
+}
+
+// SortSubsets orders subsets by name (natural string order); renderers call
+// it for stable output when sets were built from map iteration.
+func (s *Set) SortSubsets() {
+	sort.Slice(s.Subsets, func(i, j int) bool { return s.Subsets[i].Name < s.Subsets[j].Name })
+	for _, sub := range s.Subsets {
+		sub.SortSubsets()
+	}
+}

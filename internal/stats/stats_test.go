@@ -1,0 +1,172 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if Ratio(1, 4) != 0.25 {
+		t.Fatal("Ratio(1,4) != 0.25")
+	}
+	if Ratio(1, 0) != 0 {
+		t.Fatal("Ratio with zero denominator must be 0")
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	var h Histogram
+	for _, v := range []int64{1, 2, 3, 4, 10} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 || h.Sum() != 20 || h.Min() != 1 || h.Max() != 10 {
+		t.Fatalf("count=%d sum=%d min=%d max=%d", h.Count(), h.Sum(), h.Min(), h.Max())
+	}
+	if h.Mean() != 4 {
+		t.Fatalf("mean = %v, want 4", h.Mean())
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.Mean() != 0 || h.Min() != 0 || h.Max() != 0 || h.Percentile(0.5) != 0 {
+		t.Fatal("empty histogram should be all zeros")
+	}
+}
+
+func TestHistogramPercentile(t *testing.T) {
+	var h Histogram
+	for i := int64(1); i <= 1000; i++ {
+		h.Observe(i)
+	}
+	p50 := h.Percentile(0.5)
+	// True median is 500; bucket resolution gives upper edge of [512,1023]
+	// or [256,511]; allow the coarse bound.
+	if p50 < 500 || p50 > 1023 {
+		t.Fatalf("p50 = %d, want in [500,1023]", p50)
+	}
+	if h.Percentile(1) != 1000 {
+		t.Fatalf("p100 = %d, want clamped to max 1000", h.Percentile(1))
+	}
+	if h.Percentile(0) < 1 {
+		t.Fatalf("p0 = %d, want >= min", h.Percentile(0))
+	}
+}
+
+func TestHistogramNegativeAndZero(t *testing.T) {
+	var h Histogram
+	h.Observe(-5)
+	h.Observe(0)
+	h.Observe(7)
+	if h.Min() != -5 || h.Max() != 7 || h.Count() != 3 {
+		t.Fatal("negative/zero handling broken")
+	}
+	rows := h.Buckets()
+	if len(rows) == 0 || rows[0][2] != 2 {
+		t.Fatalf("bucket 0 should hold the two <=0 samples: %v", rows)
+	}
+}
+
+// Property: mean is always within [min, max] and percentile is monotone in p.
+func TestHistogramProperties(t *testing.T) {
+	f := func(samples []int16) bool {
+		if len(samples) == 0 {
+			return true
+		}
+		var h Histogram
+		for _, s := range samples {
+			h.Observe(int64(s))
+		}
+		m := h.Mean()
+		if m < float64(h.Min())-1e-9 || m > float64(h.Max())+1e-9 {
+			return false
+		}
+		prev := int64(math.MinInt64)
+		for _, p := range []float64{0, 0.25, 0.5, 0.75, 0.9, 1} {
+			q := h.Percentile(p)
+			if q < prev {
+				return false
+			}
+			prev = q
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSeries(t *testing.T) {
+	var s Series
+	s.Append(0, 1)
+	s.Append(10, 3)
+	s.Append(20, 2)
+	min, mean, max := s.Summary()
+	if min != 1 || max != 3 || mean != 2 {
+		t.Fatalf("summary = %v/%v/%v", min, mean, max)
+	}
+	if s.Len() != 3 {
+		t.Fatalf("len = %d", s.Len())
+	}
+}
+
+func TestSetPutGet(t *testing.T) {
+	s := NewSet("cache")
+	s.Put("hits", 10, "")
+	s.Put("hits", 12, "") // overwrite
+	s.PutInt("misses", 3, "")
+	if v, ok := s.Get("hits"); !ok || v != 12 {
+		t.Fatalf("hits = %v, %v", v, ok)
+	}
+	if len(s.Metrics) != 2 {
+		t.Fatalf("metrics = %d, want 2 (overwrite in place)", len(s.Metrics))
+	}
+	if _, ok := s.Get("absent"); ok {
+		t.Fatal("absent metric found")
+	}
+}
+
+func TestSetMustGetPanics(t *testing.T) {
+	s := NewSet("x")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	s.MustGet("missing")
+}
+
+func TestSetNesting(t *testing.T) {
+	root := NewSet("machine")
+	root.Sub("node0").Sub("cache.L1D").Put("hit ratio", 0.95, "")
+	if root.Lookup("node0", "cache.L1D") == nil {
+		t.Fatal("lookup failed")
+	}
+	if root.Lookup("node0", "nope") != nil {
+		t.Fatal("lookup of missing subset should be nil")
+	}
+	// Sub is idempotent.
+	if root.Sub("node0") != root.Subsets[0] {
+		t.Fatal("Sub created duplicate")
+	}
+}
+
+func TestSortSubsets(t *testing.T) {
+	root := NewSet("m")
+	root.Sub("b")
+	root.Sub("a")
+	root.SortSubsets()
+	if root.Subsets[0].Name != "a" {
+		t.Fatal("not sorted")
+	}
+}

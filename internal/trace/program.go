@@ -1,0 +1,197 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+
+	"mermaid/internal/ops"
+)
+
+// Program is a multi-threaded trace-generating application: Body runs once
+// per simulated node, each invocation in its own goroutine, exactly like the
+// threaded instrumented programs of §3.1. The threads produce operation
+// streams that the architecture simulator consumes; the per-thread handshake
+// at global events implements physical-time interleaving.
+// A program's goroutines live until their bodies return. If a simulation
+// aborts early (trace error, deadlock), threads blocked on emission stay
+// parked for the process lifetime; machines and programs are single-use, so
+// treat an aborted run's program as consumed.
+type Program struct {
+	// Threads is the number of application threads (= simulated nodes).
+	Threads int
+	// Body is the per-thread program. It may run ahead of the simulator on
+	// local operations but is suspended at every global event.
+	Body func(t *Thread)
+	// Buffer is the per-thread local-operation buffer depth (how far a
+	// thread may run ahead); 0 selects a default.
+	Buffer int
+}
+
+// DefaultBuffer is the run-ahead window for local operations.
+const DefaultBuffer = 4096
+
+// Start launches the program's threads and returns one Source per thread for
+// the simulator to consume. Each thread's stream ends (io.EOF) when its body
+// returns.
+func (pr *Program) Start() []*Thread {
+	if pr.Threads <= 0 {
+		panic("trace: program with no threads")
+	}
+	buf := pr.Buffer
+	if buf <= 0 {
+		buf = DefaultBuffer
+	}
+	threads := make([]*Thread, pr.Threads)
+	for i := range threads {
+		threads[i] = &Thread{
+			id:     i,
+			n:      pr.Threads,
+			ch:     make(chan Event, buf),
+			resume: make(chan Feedback),
+		}
+	}
+	for _, t := range threads {
+		t := t
+		go func() {
+			defer close(t.ch)
+			defer func() {
+				if v := recover(); v != nil {
+					// Deliver the panic to the consumer side instead of
+					// killing the host process.
+					t.ch <- Event{Op: ops.Op{}, Payload: threadPanic{v}}
+				}
+			}()
+			pr.Body(t)
+		}()
+	}
+	return threads
+}
+
+type threadPanic struct{ v any }
+
+// Thread is the generator side of one application thread plus the consumer
+// side used by the simulator (Next). Producer methods (Emit, Send, Recv, …)
+// must only be called from the thread's body; Next only from the simulator.
+type Thread struct {
+	id     int
+	n      int
+	ch     chan Event
+	resume chan Feedback
+
+	emitted    uint64
+	nextHandle uint64
+}
+
+// ID returns the thread's node rank.
+func (t *Thread) ID() int { return t.id }
+
+// Threads returns the total number of threads in the program.
+func (t *Thread) Threads() int { return t.n }
+
+// Emitted returns the number of operations emitted so far.
+func (t *Thread) Emitted() uint64 { return t.emitted }
+
+// Next implements Source for the simulator. It blocks (on the host) until
+// the generator thread has produced the next operation — the execution-
+// driven coupling of trace generation and simulation.
+func (t *Thread) Next() (Event, error) {
+	ev, open := <-t.ch
+	if !open {
+		return Event{}, io.EOF
+	}
+	if tp, isPanic := ev.Payload.(threadPanic); isPanic {
+		return Event{}, fmt.Errorf("trace: thread %d panicked: %v", t.id, tp.v)
+	}
+	return ev, nil
+}
+
+// Emit produces a local (non-global) operation. The thread runs ahead
+// freely: local operations cannot be influenced by other processors, so no
+// synchronisation with the simulator is needed (§2).
+func (t *Thread) Emit(o ops.Op) {
+	if o.Kind.IsGlobalEvent() {
+		panic(fmt.Sprintf("trace: Emit of global event %s; use Send/Recv", o.Kind))
+	}
+	t.emitted++
+	t.ch <- Event{Op: o}
+}
+
+// emitGlobal produces a global event and suspends until the simulator
+// resumes the thread.
+func (t *Thread) emitGlobal(o ops.Op, payload any) Feedback {
+	t.emitted++
+	t.ch <- Event{Op: o, Payload: payload, Resume: t.resume}
+	return <-t.resume
+}
+
+// Send performs a synchronous (blocking) send: the thread suspends until the
+// message has been delivered to — and accepted by — the destination on the
+// simulated machine.
+func (t *Thread) Send(dst int, size uint32, tag uint32, payload any) {
+	t.emitGlobal(ops.NewSend(size, int32(dst), tag), payload)
+}
+
+// ASend performs an asynchronous send: the thread suspends only until the
+// simulator has accepted the message for injection.
+func (t *Thread) ASend(dst int, size uint32, tag uint32, payload any) {
+	t.emitGlobal(ops.NewASend(size, int32(dst), tag), payload)
+}
+
+// Recv performs a synchronous receive from the given source, returning the
+// message payload once it has arrived in simulated time.
+func (t *Thread) Recv(src int, tag uint32) any {
+	fb := t.emitGlobal(ops.NewRecv(int32(src), tag), nil)
+	return fb.Payload
+}
+
+// RecvAny receives from any source. Which message matches is decided by the
+// architecture simulator — the feedback loop that makes the trace the one
+// the target machine would produce. It returns the actual source and the
+// payload.
+func (t *Thread) RecvAny(tag uint32) (int, any) {
+	fb := t.emitGlobal(ops.NewRecv(ops.AnyPeer, tag), nil)
+	return int(fb.Peer), fb.Payload
+}
+
+// ARecv posts an asynchronous receive and returns immediately with a handle;
+// the thread continues generating trace while the message is in flight.
+// Consume the data with Wait, which emits the WaitRecv completion
+// pseudo-operation.
+func (t *Thread) ARecv(src int, tag uint32) *RecvHandle {
+	h := t.nextHandle
+	t.nextHandle++
+	o := ops.NewARecv(int32(src), tag)
+	o.Addr = h
+	t.emitGlobal(o, nil)
+	return &RecvHandle{t: t, id: h}
+}
+
+// ARecvAny posts an asynchronous receive from any source.
+func (t *Thread) ARecvAny(tag uint32) *RecvHandle {
+	h := t.nextHandle
+	t.nextHandle++
+	o := ops.NewARecv(ops.AnyPeer, tag)
+	o.Addr = h
+	t.emitGlobal(o, nil)
+	return &RecvHandle{t: t, id: h}
+}
+
+// RecvHandle is an outstanding asynchronous receive.
+type RecvHandle struct {
+	t    *Thread
+	id   uint64
+	done bool
+	fb   Feedback
+}
+
+// Wait suspends the application thread until the receive has completed in
+// simulated time, returning the source and payload. The suspension is
+// visible to the simulator as a WaitRecv pseudo-operation. Wait is
+// idempotent: further calls return the same result without re-suspending.
+func (h *RecvHandle) Wait() (int, any) {
+	if !h.done {
+		h.fb = h.t.emitGlobal(ops.NewWaitRecv(h.id), nil)
+		h.done = true
+	}
+	return int(h.fb.Peer), h.fb.Payload
+}

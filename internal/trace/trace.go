@@ -1,0 +1,144 @@
+// Package trace provides the interface between the application level and the
+// architecture level of the workbench: streams of operations, and the
+// multi-threaded, execution-driven trace generation with physical-time
+// interleaving that keeps multiprocessor traces valid (§2, §3.1 of the
+// paper).
+//
+// A trace-generating application runs as one goroutine per simulated node.
+// Local operations flow freely (buffered) from the generator to the
+// simulator. At every global event — an operation that can influence other
+// processors — the generating thread suspends until the architecture
+// simulator explicitly resumes it, feeding back what actually happened on
+// the target machine (which source's message arrived first, what data it
+// carried). The trace therefore is exactly the one that would be observed if
+// the application executed on the target machine.
+package trace
+
+import (
+	"fmt"
+	"io"
+
+	"mermaid/internal/ops"
+)
+
+// Feedback is what the simulator tells a suspended generator thread when
+// resuming it after a global event.
+type Feedback struct {
+	// Peer is the actual communication partner: for a receive from AnyPeer,
+	// the source whose message arrived first in simulated time.
+	Peer int32
+	// Tag echoes the message tag.
+	Tag uint32
+	// Payload carries the real data between application threads, routed
+	// through the simulator so that data availability follows simulated
+	// time.
+	Payload any
+}
+
+// Event is one element of a generated trace: the operation plus the
+// generator-side plumbing for global events.
+type Event struct {
+	Op ops.Op
+	// Payload is the message data carried by send operations.
+	Payload any
+	// Resume, when non-nil, must receive exactly one Feedback when the
+	// simulator has handled the global event; the generator thread is
+	// suspended on it meanwhile.
+	Resume chan Feedback
+}
+
+// Source yields a node's operation stream in execution order. Next returns
+// io.EOF after the last event.
+type Source interface {
+	Next() (Event, error)
+}
+
+// SliceSource replays a fixed operation slice (trace-driven simulation).
+type SliceSource struct {
+	trace []ops.Op
+	pos   int
+}
+
+// FromOps wraps an operation slice as a Source.
+func FromOps(trace []ops.Op) *SliceSource { return &SliceSource{trace: trace} }
+
+// Next implements Source.
+func (s *SliceSource) Next() (Event, error) {
+	if s.pos >= len(s.trace) {
+		return Event{}, io.EOF
+	}
+	o := s.trace[s.pos]
+	s.pos++
+	return Event{Op: o}, nil
+}
+
+// ReaderSource replays a binary trace stream.
+type ReaderSource struct {
+	r *ops.Reader
+}
+
+// FromReader wraps a binary trace stream as a Source.
+func FromReader(r io.Reader) *ReaderSource { return &ReaderSource{r: ops.NewReader(r)} }
+
+// Next implements Source.
+func (s *ReaderSource) Next() (Event, error) {
+	o, err := s.r.Read()
+	if err != nil {
+		return Event{}, err
+	}
+	return Event{Op: o}, nil
+}
+
+// FuncSource adapts a generator function to a Source.
+type FuncSource func() (Event, error)
+
+// Next implements Source.
+func (f FuncSource) Next() (Event, error) { return f() }
+
+// Tee wraps a source, appending every operation that passes through to a
+// writer — the mechanism the hybrid model uses to export traces (e.g.
+// task-level traces derived from an instruction-level run).
+type Tee struct {
+	src Source
+	w   *ops.Writer
+}
+
+// NewTee creates a tee of src into w.
+func NewTee(src Source, w io.Writer) *Tee {
+	return &Tee{src: src, w: ops.NewWriter(w)}
+}
+
+// Next implements Source.
+func (t *Tee) Next() (Event, error) {
+	ev, err := t.src.Next()
+	if err != nil {
+		if err == io.EOF {
+			if ferr := t.w.Flush(); ferr != nil {
+				return Event{}, ferr
+			}
+		}
+		return Event{}, err
+	}
+	if werr := t.w.Write(ev.Op); werr != nil {
+		return Event{}, werr
+	}
+	return ev, nil
+}
+
+// Collect drains a source into a slice (for tests and analysis).
+func Collect(src Source) ([]ops.Op, error) {
+	var out []ops.Op
+	for {
+		ev, err := src.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		if ev.Resume != nil {
+			return out, fmt.Errorf("trace: Collect cannot service global events; use a simulator")
+		}
+		out = append(out, ev.Op)
+	}
+}

@@ -1,0 +1,286 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"mermaid/internal/ops"
+)
+
+func TestSliceSource(t *testing.T) {
+	trace := []ops.Op{ops.NewArith(ops.Add, ops.TypeInt), ops.NewLoad(ops.MemWord, 8)}
+	src := FromOps(trace)
+	got, err := Collect(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != trace[0] || got[1] != trace[1] {
+		t.Fatalf("got %v", got)
+	}
+	if _, err := src.Next(); err != io.EOF {
+		t.Fatalf("err = %v, want EOF", err)
+	}
+}
+
+func TestReaderSource(t *testing.T) {
+	trace := []ops.Op{ops.NewIFetch(4), ops.NewCompute(10)}
+	var buf bytes.Buffer
+	if err := ops.WriteAll(&buf, trace); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Collect(FromReader(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[1] != trace[1] {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestTeeCopiesTrace(t *testing.T) {
+	trace := []ops.Op{ops.NewIFetch(4), ops.NewLoad(ops.MemWord, 16), ops.NewCompute(3)}
+	var buf bytes.Buffer
+	tee := NewTee(FromOps(trace), &buf)
+	if _, err := Collect(tee); err != nil {
+		t.Fatal(err)
+	}
+	// Drain past EOF to flush.
+	if _, err := tee.Next(); err != io.EOF {
+		t.Fatalf("err = %v", err)
+	}
+	back, err := ops.ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(trace) {
+		t.Fatalf("tee wrote %d ops, want %d", len(back), len(trace))
+	}
+}
+
+func TestProgramLocalOps(t *testing.T) {
+	pr := &Program{
+		Threads: 2,
+		Body: func(th *Thread) {
+			for i := 0; i < 5; i++ {
+				th.Emit(ops.NewArith(ops.Add, ops.TypeInt))
+			}
+		},
+	}
+	threads := pr.Start()
+	for i, th := range threads {
+		got, err := Collect(th)
+		if err != nil {
+			t.Fatalf("thread %d: %v", i, err)
+		}
+		if len(got) != 5 {
+			t.Fatalf("thread %d: %d ops", i, len(got))
+		}
+	}
+}
+
+func TestProgramThreadIdentity(t *testing.T) {
+	ids := make(chan int, 3)
+	pr := &Program{
+		Threads: 3,
+		Body: func(th *Thread) {
+			if th.Threads() != 3 {
+				t.Errorf("Threads() = %d", th.Threads())
+			}
+			ids <- th.ID()
+		},
+	}
+	for _, th := range pr.Start() {
+		if _, err := Collect(th); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seen := make(map[int]bool)
+	for i := 0; i < 3; i++ {
+		seen[<-ids] = true
+	}
+	if len(seen) != 3 {
+		t.Fatalf("ids = %v", seen)
+	}
+}
+
+func TestProgramGlobalEventSuspendsUntilResumed(t *testing.T) {
+	order := make(chan string, 10)
+	pr := &Program{
+		Threads: 1,
+		Body: func(th *Thread) {
+			order <- "before-send"
+			th.Send(0, 64, 0, "payload")
+			order <- "after-send"
+		},
+	}
+	th := pr.Start()[0]
+	ev, err := th.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Op.Kind != ops.Send || ev.Payload != "payload" || ev.Resume == nil {
+		t.Fatalf("event = %+v", ev)
+	}
+	if got := <-order; got != "before-send" {
+		t.Fatalf("order: %s", got)
+	}
+	select {
+	case s := <-order:
+		t.Fatalf("thread ran past global event: %s", s)
+	default:
+	}
+	ev.Resume <- Feedback{}
+	if got := <-order; got != "after-send" {
+		t.Fatalf("order: %s", got)
+	}
+	if _, err := th.Next(); err != io.EOF {
+		t.Fatalf("err = %v, want EOF", err)
+	}
+}
+
+func TestProgramRecvFeedbackCarriesData(t *testing.T) {
+	var got any
+	var gotSrc int
+	pr := &Program{
+		Threads: 1,
+		Body: func(th *Thread) {
+			gotSrc, got = th.RecvAny(7)
+		},
+	}
+	th := pr.Start()[0]
+	ev, err := th.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Op.Kind != ops.Recv || ev.Op.Peer != ops.AnyPeer || ev.Op.Tag != 7 {
+		t.Fatalf("op = %v", ev.Op)
+	}
+	ev.Resume <- Feedback{Peer: 3, Tag: 7, Payload: []int{1, 2}}
+	if _, err := th.Next(); err != io.EOF {
+		t.Fatal(err)
+	}
+	if gotSrc != 3 || got == nil {
+		t.Fatalf("feedback src=%d payload=%v", gotSrc, got)
+	}
+}
+
+func TestProgramARecvThenWait(t *testing.T) {
+	var result any
+	pr := &Program{
+		Threads: 1,
+		Body: func(th *Thread) {
+			h := th.ARecv(2, 0)
+			th.Emit(ops.NewArith(ops.Add, ops.TypeInt)) // overlap
+			_, result = h.Wait()
+		},
+	}
+	th := pr.Start()[0]
+	// arecv post
+	ev, _ := th.Next()
+	if ev.Op.Kind != ops.ARecv || ev.Op.Addr != 0 {
+		t.Fatalf("first op = %v", ev.Op)
+	}
+	ev.Resume <- Feedback{} // ack the post
+	// overlapped local op
+	ev, _ = th.Next()
+	if ev.Op.Kind != ops.Add {
+		t.Fatalf("second op = %v", ev.Op)
+	}
+	// wait completion
+	ev, _ = th.Next()
+	if ev.Op.Kind != ops.WaitRecv || ev.Op.Addr != 0 {
+		t.Fatalf("third op = %v", ev.Op)
+	}
+	ev.Resume <- Feedback{Peer: 2, Payload: "data"}
+	if _, err := th.Next(); err != io.EOF {
+		t.Fatal(err)
+	}
+	if result != "data" {
+		t.Fatalf("result = %v", result)
+	}
+}
+
+func TestWaitIdempotent(t *testing.T) {
+	var a, b any
+	pr := &Program{
+		Threads: 1,
+		Body: func(th *Thread) {
+			h := th.ARecv(0, 0)
+			_, a = h.Wait()
+			_, b = h.Wait() // no second suspension
+		},
+	}
+	th := pr.Start()[0]
+	ev, _ := th.Next()
+	ev.Resume <- Feedback{} // post ack
+	ev, _ = th.Next()
+	if ev.Op.Kind != ops.WaitRecv {
+		t.Fatalf("op = %v", ev.Op)
+	}
+	ev.Resume <- Feedback{Payload: 42}
+	if _, err := th.Next(); err != io.EOF {
+		t.Fatal(err)
+	}
+	if a != 42 || b != 42 {
+		t.Fatalf("a=%v b=%v", a, b)
+	}
+}
+
+func TestEmitRejectsGlobalEvents(t *testing.T) {
+	pr := &Program{
+		Threads: 1,
+		Body: func(th *Thread) {
+			th.Emit(ops.NewSend(1, 0, 0)) // must panic -> surfaced by Next
+		},
+	}
+	th := pr.Start()[0]
+	if _, err := th.Next(); err == nil {
+		t.Fatal("expected panic surfaced as error")
+	}
+}
+
+func TestThreadPanicSurfaced(t *testing.T) {
+	pr := &Program{
+		Threads: 1,
+		Body:    func(th *Thread) { panic("app bug") },
+	}
+	th := pr.Start()[0]
+	if _, err := th.Next(); err == nil {
+		t.Fatal("expected error from panicking thread")
+	}
+}
+
+func TestCollectRefusesGlobalEvents(t *testing.T) {
+	pr := &Program{
+		Threads: 1,
+		Body:    func(th *Thread) { th.Send(0, 8, 0, nil) },
+	}
+	th := pr.Start()[0]
+	if _, err := Collect(th); err == nil {
+		t.Fatal("Collect must refuse global events")
+	}
+}
+
+func TestRunAheadBounded(t *testing.T) {
+	pr := &Program{
+		Threads: 1,
+		Buffer:  4,
+		Body: func(th *Thread) {
+			for i := 0; i < 100; i++ {
+				th.Emit(ops.NewArith(ops.Add, ops.TypeInt))
+			}
+		},
+	}
+	th := pr.Start()[0]
+	// Without consuming, the thread can be at most Buffer ahead (plus the
+	// one op it may be blocked sending). We just verify full collection
+	// works and sees everything in order.
+	got, err := Collect(th)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 100 {
+		t.Fatalf("got %d ops", len(got))
+	}
+}

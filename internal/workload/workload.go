@@ -1,0 +1,451 @@
+// Package workload provides instrumented parallel applications — the
+// application level of the workbench (§5). Each workload is a threaded
+// program (one thread per simulated processor) written against the
+// annotation translator: its control flow really executes, its data really
+// moves between threads through the simulator, and the annotations describe
+// its memory and computational behaviour. The workloads double as the
+// realistic application loads of the paper's evaluation: kernels typical of
+// scientific computing on distributed-memory MIMD machines.
+package workload
+
+import (
+	"fmt"
+
+	"mermaid/internal/annotate"
+	"mermaid/internal/ops"
+	"mermaid/internal/trace"
+)
+
+// tags used by the workloads.
+const (
+	tagData       = 1
+	tagHalo       = 2
+	tagRing       = 3
+	tagGatherBase = 100
+)
+
+// PingPong bounces a message of msgBytes between two processors rounds
+// times, with a little local work per round. The classic latency microkernel
+// used to calibrate communication parameters.
+func PingPong(rounds int, msgBytes uint32) *trace.Program {
+	return &trace.Program{
+		Threads: 2,
+		Body: func(th *trace.Thread) {
+			u := annotate.New(th, annotate.GenericTarget())
+			u.Enter("main")
+			defer u.Leave()
+			counter := u.Local("i", ops.MemWord)
+			u.Loop("rounds", rounds, func(int) {
+				u.Load(counter)
+				u.Arith(ops.Add, ops.TypeInt)
+				u.Store(counter)
+				if th.ID() == 0 {
+					u.Send(1, msgBytes, tagData, nil)
+					u.Recv(1, tagData)
+				} else {
+					u.Recv(0, tagData)
+					u.Send(0, msgBytes, tagData, nil)
+				}
+			})
+		},
+	}
+}
+
+// RingAllreduce sums one float64 value per processor around a ring: each
+// node computes a local partial from its slice of data, then the partials
+// circulate; every node ends with the global sum. The result is returned
+// through results[rank], so tests can check numerical correctness of the
+// parallel execution end to end.
+func RingAllreduce(nodes, elemsPerNode int, results []float64) *trace.Program {
+	if len(results) != nodes {
+		panic("workload: results slice must have one entry per node")
+	}
+	return &trace.Program{
+		Threads: nodes,
+		Body: func(th *trace.Thread) {
+			rank, n := th.ID(), th.Threads()
+			u := annotate.New(th, annotate.GenericTarget())
+			data := u.GlobalArray("data", ops.MemFloat8, elemsPerNode)
+			u.Enter("main")
+			defer u.Leave()
+			acc := u.Local("acc", ops.MemFloat8)
+
+			// Local reduction over our slice; element value = rank*e + i.
+			local := 0.0
+			u.Loop("reduce", elemsPerNode, func(i int) {
+				u.LoadElem(data, i)
+				u.Load(acc)
+				u.Arith(ops.Add, ops.TypeDouble)
+				u.Store(acc)
+				local += float64(rank*elemsPerNode + i)
+			})
+
+			// Ring exchange of partial sums: n-1 steps; deadlock-free via
+			// lower-rank-sends-first on the closing edge.
+			sum := local
+			incoming := local
+			next, prev := (rank+1)%n, (rank-1+n)%n
+			u.Loop("ring", n-1, func(int) {
+				if rank == n-1 {
+					v := u.Recv(prev, tagRing).(float64)
+					u.Send(next, 8, tagRing, incoming)
+					incoming = v
+				} else {
+					u.Send(next, 8, tagRing, incoming)
+					incoming = u.Recv(prev, tagRing).(float64)
+				}
+				u.Load(acc)
+				u.Arith(ops.Add, ops.TypeDouble)
+				u.Store(acc)
+				sum += incoming
+			})
+			results[rank] = sum
+		},
+	}
+}
+
+// Jacobi1D runs iters sweeps of a three-point stencil over a 1-D domain of
+// cells points split across the processors, exchanging one-point halos with
+// both neighbours each iteration (the archetypal coarse-grained computation
+// alternated with communication phases, §3.2).
+func Jacobi1D(nodes, cells, iters int) *trace.Program {
+	per := cells / nodes
+	if per < 2 {
+		panic(fmt.Sprintf("workload: %d cells over %d nodes leaves <2 per node", cells, nodes))
+	}
+	return &trace.Program{
+		Threads: nodes,
+		Body: func(th *trace.Thread) {
+			rank, n := th.ID(), th.Threads()
+			u := annotate.New(th, annotate.GenericTarget())
+			grid := u.GlobalArray("grid", ops.MemFloat8, per+2) // plus halos
+			tmp := u.GlobalArray("tmp", ops.MemFloat8, per+2)
+			u.Enter("main")
+			defer u.Leave()
+			left, right := rank-1, rank+1
+
+			u.Loop("iter", iters, func(int) {
+				// Halo exchange, deadlock-free (lower rank sends first).
+				if left >= 0 {
+					u.Send(left, 8, tagHalo, nil)
+					u.Recv(left, tagHalo)
+				}
+				if right < n {
+					u.Recv(right, tagHalo)
+					u.Send(right, 8, tagHalo, nil)
+				}
+				// Stencil sweep.
+				u.Loop("sweep", per, func(i int) {
+					u.LoadElem(grid, i)
+					u.LoadElem(grid, i+1)
+					u.LoadElem(grid, i+2)
+					u.Arith(ops.Add, ops.TypeDouble)
+					u.Arith(ops.Add, ops.TypeDouble)
+					u.Arith(ops.Mul, ops.TypeDouble) // x 1/3
+					u.StoreElem(tmp, i+1)
+				})
+				// Copy back.
+				u.Loop("copy", per, func(i int) {
+					u.LoadElem(tmp, i+1)
+					u.StoreElem(grid, i+1)
+				})
+			})
+		},
+	}
+}
+
+// MatMul multiplies two dim x dim matrices with a block-row distribution:
+// each processor owns dim/nodes rows of A and of C and the whole of B,
+// computes its block locally, then allgathers the C blocks around a ring.
+// Matrix values travel as real payloads, so the distributed product can be
+// verified against a sequential one.
+func MatMul(nodes, dim int, out *[][]float64) *trace.Program {
+	rows := dim / nodes
+	if rows < 1 {
+		panic("workload: more nodes than matrix rows")
+	}
+	return &trace.Program{
+		Threads: nodes,
+		Body: func(th *trace.Thread) {
+			rank, n := th.ID(), th.Threads()
+			u := annotate.New(th, annotate.GenericTarget())
+			a := u.GlobalArray("A", ops.MemFloat8, rows*dim)
+			b := u.GlobalArray("B", ops.MemFloat8, dim*dim)
+			c := u.GlobalArray("C", ops.MemFloat8, rows*dim)
+			u.Enter("main")
+			defer u.Leave()
+			acc := u.Local("acc", ops.MemFloat8)
+
+			// Deterministic matrix contents: A[i][j] = i+j, B[i][j] = i-j.
+			block := make([][]float64, rows)
+			for i := range block {
+				block[i] = make([]float64, dim)
+			}
+			u.Loop("i", rows, func(i int) {
+				gi := rank*rows + i
+				u.Loop("j", dim, func(j int) {
+					u.Store(acc) // zero the accumulator
+					u.Loop("k", dim, func(k int) {
+						u.LoadElem(a, i*dim+k)
+						u.LoadElem(b, k*dim+j)
+						u.Arith(ops.Mul, ops.TypeDouble)
+						u.Load(acc)
+						u.Arith(ops.Add, ops.TypeDouble)
+						u.Store(acc)
+						block[i][j] += float64(gi+k) * float64(k-j)
+					})
+					u.StoreElem(c, i*dim+j)
+				})
+			})
+
+			// Ring allgather of the C blocks.
+			cur := block
+			curOwner := rank
+			mine := make([][][]float64, n)
+			mine[rank] = block
+			next, prev := (rank+1)%n, (rank-1+n)%n
+			u.Loop("gather", n-1, func(int) {
+				bytes := uint32(rows * dim * 8)
+				type piece struct {
+					owner int
+					data  [][]float64
+				}
+				if rank == n-1 {
+					in := u.Recv(prev, tagGatherBase).(piece)
+					u.Send(next, bytes, tagGatherBase, piece{curOwner, cur})
+					cur, curOwner = in.data, in.owner
+				} else {
+					u.Send(next, bytes, tagGatherBase, piece{curOwner, cur})
+					in := u.Recv(prev, tagGatherBase).(piece)
+					cur, curOwner = in.data, in.owner
+				}
+				mine[curOwner] = cur
+			})
+			if rank == 0 {
+				full := make([][]float64, 0, dim)
+				for owner := 0; owner < n; owner++ {
+					full = append(full, mine[owner]...)
+				}
+				if out != nil {
+					*out = full
+				}
+			}
+		},
+	}
+}
+
+// Transpose performs an all-to-all exchange: each processor sends a distinct
+// block to every other, the communication structure of a distributed matrix
+// transpose or FFT. Pairwise XOR-scheduled rounds keep the rendezvous
+// traffic deadlock-free.
+func Transpose(nodes int, blockBytes uint32) *trace.Program {
+	return &trace.Program{
+		Threads: nodes,
+		Body: func(th *trace.Thread) {
+			rank, n := th.ID(), th.Threads()
+			u := annotate.New(th, annotate.GenericTarget())
+			u.Enter("main")
+			defer u.Leave()
+			buf := u.LocalArray("buf", ops.MemFloat8, 64)
+			npow := 1
+			for npow < n {
+				npow <<= 1
+			}
+			u.Loop("rounds", npow-1, func(r int) {
+				partner := rank ^ (r + 1)
+				if partner >= n {
+					return
+				}
+				// Touch the outgoing block.
+				u.Loop("pack", 8, func(i int) {
+					u.LoadElem(buf, i)
+					u.StoreElem(buf, i+8)
+				})
+				if rank < partner {
+					u.Send(partner, blockBytes, uint32(tagGatherBase+r), nil)
+					u.Recv(partner, uint32(tagGatherBase+r))
+				} else {
+					u.Recv(partner, uint32(tagGatherBase+r))
+					u.Send(partner, blockBytes, uint32(tagGatherBase+r), nil)
+				}
+			})
+		},
+	}
+}
+
+// RecvAnyServer is the trace-validity workload (E6): node 0 services
+// requests from every other node in whatever order they arrive on the
+// target machine — the arrival order, and hence the trace, depends on the
+// architecture. work[rank] loop iterations of local computation precede each
+// client's request; the observed service order is appended to *order.
+func RecvAnyServer(nodes int, reqBytes uint32, work []int, order *[]int) *trace.Program {
+	if len(work) != nodes {
+		panic("workload: work slice must have one entry per node")
+	}
+	return &trace.Program{
+		Threads: nodes,
+		Body: func(th *trace.Thread) {
+			rank, n := th.ID(), th.Threads()
+			u := annotate.New(th, annotate.GenericTarget())
+			u.Enter("main")
+			defer u.Leave()
+			w := u.Local("w", ops.MemWord)
+			if rank == 0 {
+				for i := 1; i < n; i++ {
+					src, _ := u.RecvAny(tagData)
+					*order = append(*order, src)
+					u.Load(w)
+					u.Arith(ops.Add, ops.TypeInt)
+					u.Store(w)
+				}
+			} else {
+				// Each client computes for its configured time, then asks.
+				u.Loop("work", work[rank], func(int) {
+					u.Load(w)
+					u.Arith(ops.Mul, ops.TypeInt)
+					u.Store(w)
+				})
+				u.ASend(0, reqBytes, tagData, rank)
+			}
+		},
+	}
+}
+
+// SharedCounter is a shared-memory workload for multi-CPU nodes: every CPU
+// increments a counter in the same cache line (true sharing) and one in its
+// own line (no sharing), exposing coherence traffic differences. One thread
+// per CPU on a single node.
+func SharedCounter(cpus, increments int) *trace.Program {
+	return &trace.Program{
+		Threads: cpus,
+		Body: func(th *trace.Thread) {
+			u := annotate.New(th, annotate.GenericTarget())
+			// All threads use the same addresses for "shared" and disjoint
+			// addresses for "private".
+			shared := u.Global("shared", ops.MemWord) // same address everywhere
+			for i := 0; i < th.ID(); i++ {
+				// One cache line of padding per rank keeps the private
+				// counters in distinct lines.
+				u.GlobalArray(fmt.Sprintf("pad%d", i), ops.MemFloat8, 8)
+			}
+			private := u.Global("private", ops.MemWord)
+			u.Enter("main")
+			defer u.Leave()
+			u.Loop("inc", increments, func(int) {
+				u.Load(shared)
+				u.Arith(ops.Add, ops.TypeInt)
+				u.Store(shared)
+				u.Load(private)
+				u.Arith(ops.Add, ops.TypeInt)
+				u.Store(private)
+			})
+		},
+	}
+}
+
+// JacobiDSM is the Jacobi solver rewritten for virtual shared memory: the
+// whole grid lives in the shared segment and neighbouring nodes' halo values
+// are read directly through loads — no explicit communication appears in the
+// application (§5's "hide all explicit communication"). Iterations are
+// separated by a message barrier so the comparison with Jacobi1D isolates
+// the data movement.
+func JacobiDSM(nodes, cells, iters int) *trace.Program {
+	per := cells / nodes
+	if per < 2 {
+		panic(fmt.Sprintf("workload: %d cells over %d nodes leaves <2 per node", cells, nodes))
+	}
+	return &trace.Program{
+		Threads: nodes,
+		Body: func(th *trace.Thread) {
+			rank, n := th.ID(), th.Threads()
+			u := annotate.New(th, annotate.GenericTarget())
+			grid := u.SharedArray("grid", ops.MemFloat8, cells)
+			tmp := u.GlobalArray("tmp", ops.MemFloat8, per)
+			u.Enter("main")
+			defer u.Leave()
+			lo := rank * per
+
+			barrier := func(tag uint32) {
+				// Linear barrier through node 0.
+				if rank == 0 {
+					for i := 1; i < n; i++ {
+						th.Recv(i, tag)
+					}
+					for i := 1; i < n; i++ {
+						th.ASend(i, 4, tag+1, nil)
+					}
+				} else {
+					th.ASend(0, 4, tag, nil)
+					th.Recv(0, tag+1)
+				}
+			}
+
+			u.Loop("iter", iters, func(it int) {
+				u.Loop("sweep", per, func(i int) {
+					g := lo + i
+					// Neighbour reads may cross into other nodes' slices:
+					// those loads fault through the DSM instead of
+					// explicit halo messages.
+					if g > 0 {
+						u.LoadElem(grid, g-1)
+					}
+					u.LoadElem(grid, g)
+					if g < cells-1 {
+						u.LoadElem(grid, g+1)
+					}
+					u.Arith(ops.Add, ops.TypeDouble)
+					u.Arith(ops.Add, ops.TypeDouble)
+					u.Arith(ops.Mul, ops.TypeDouble)
+					u.StoreElem(tmp, i)
+				})
+				u.Loop("copy", per, func(i int) {
+					u.LoadElem(tmp, i)
+					u.StoreElem(grid, lo+i)
+				})
+				barrier(uint32(1000 + 2*it))
+			})
+		},
+	}
+}
+
+// Butterfly runs the communication structure of a radix-2 FFT or
+// bit-reversal permutation: log2(nodes) stages, each a pairwise exchange
+// with the partner differing in one rank bit, with computation between
+// stages. nodes must be a power of two.
+func Butterfly(nodes int, blockBytes uint32, workPerStage int) *trace.Program {
+	if nodes < 2 || nodes&(nodes-1) != 0 {
+		panic(fmt.Sprintf("workload: butterfly needs a power-of-two node count, got %d", nodes))
+	}
+	stages := 0
+	for x := nodes; x > 1; x >>= 1 {
+		stages++
+	}
+	return &trace.Program{
+		Threads: nodes,
+		Body: func(th *trace.Thread) {
+			rank := th.ID()
+			u := annotate.New(th, annotate.GenericTarget())
+			buf := u.GlobalArray("buf", ops.MemFloat8, 64)
+			u.Enter("main")
+			defer u.Leave()
+			for s := 0; s < stages; s++ {
+				partner := rank ^ (1 << s)
+				tag := uint32(700 + s)
+				// Twiddle computation between stages.
+				u.Loop(fmt.Sprintf("stage%d", s), workPerStage, func(i int) {
+					u.LoadElem(buf, i%64)
+					u.Arith(ops.Mul, ops.TypeDouble)
+					u.Arith(ops.Add, ops.TypeDouble)
+					u.StoreElem(buf, i%64)
+				})
+				if rank < partner {
+					u.Send(partner, blockBytes, tag, nil)
+					u.Recv(partner, tag)
+				} else {
+					u.Recv(partner, tag)
+					u.Send(partner, blockBytes, tag, nil)
+				}
+			}
+		},
+	}
+}
