@@ -1,8 +1,17 @@
 # Convenience targets for the Mermaid workbench reproduction.
 
-.PHONY: all build vet test bench experiments examples cover
+.PHONY: all build vet test bench experiments examples cover check fmt
 
 all: build vet test
+
+# Everything CI runs: formatting, vet, build, and the full test suite under
+# the race detector.
+check: fmt vet build
+	go test -race ./...
+
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 build:
 	go build ./...

@@ -19,6 +19,7 @@ import (
 
 	"mermaid/internal/bus"
 	"mermaid/internal/cache"
+	"mermaid/internal/farm"
 	"mermaid/internal/machine"
 	"mermaid/internal/ops"
 	"mermaid/internal/pearl"
@@ -552,6 +553,71 @@ func BenchmarkCalibrationProbe(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// Simulation farm: a fixed batch of independent detailed runs dispatched
+// through the worker pool, sequential vs one worker per host CPU. The runs/s
+// metric is the farm's throughput; on a multi-core host the workers=N case
+// should approach N-fold the sequential rate (on a single-core host the two
+// are equivalent).
+func BenchmarkFarm(b *testing.B) {
+	desc := stochastic.Desc{
+		Nodes: 4, Level: stochastic.InstructionLevel, Seed: 29, Iterations: 1,
+		Phases: []stochastic.Phase{{
+			Instructions: 5000,
+			Comm:         stochastic.Comm{Pattern: stochastic.NearestNeighbor, Bytes: 512},
+		}},
+	}
+	jobs := make([]farm.Job, 8)
+	for j := range jobs {
+		j := j
+		jobs[j] = farm.Job{Name: fmt.Sprintf("run%d", j), Run: func(rc *farm.RunContext) (any, error) {
+			m, err := machine.New(machine.T805Grid(2, 2))
+			if err != nil {
+				return nil, err
+			}
+			res, err := m.RunStochastic(desc)
+			if err != nil {
+				return nil, err
+			}
+			rc.ObserveSim(res.Cycles, res.Events)
+			return res.Cycles, nil
+		}}
+	}
+	for _, workers := range []int{1, runtime.NumCPU()} {
+		workers := workers
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			var runs int
+			for i := 0; i < b.N; i++ {
+				rep := farm.New(workers).Run(jobs)
+				if err := rep.Err(); err != nil {
+					b.Fatal(err)
+				}
+				runs += len(rep.Results)
+			}
+			b.ReportMetric(float64(runs)/b.Elapsed().Seconds(), "runs/s")
+		})
+	}
+}
+
+// Farm overhead in isolation: trivial jobs, so the metric is the dispatch +
+// seed-derivation + collection cost per run.
+func BenchmarkFarmOverhead(b *testing.B) {
+	jobs := make([]farm.Job, 64)
+	for j := range jobs {
+		jobs[j] = farm.Job{Name: "noop", Run: func(rc *farm.RunContext) (any, error) {
+			rc.ObserveSim(1, 1)
+			return rc.Seed, nil
+		}}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep := farm.New(runtime.NumCPU()).Run(jobs)
+		if err := rep.Err(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.N*len(jobs))/b.Elapsed().Seconds(), "runs/s")
 }
 
 // Routing-strategy sweep (minimal vs Valiant) under adversarial traffic.

@@ -14,15 +14,19 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"runtime"
 	"sort"
 	"strings"
 
 	"mermaid/internal/core"
 	"mermaid/internal/experiments"
+	"mermaid/internal/farm"
 	"mermaid/internal/machine"
 	"mermaid/internal/pearl"
 	"mermaid/internal/stats"
@@ -41,32 +45,6 @@ var presets = map[string]func() machine.Config{
 	"ppc601-smp8":   func() machine.Config { return machine.PPC601SMP(8) },
 	"hybrid-2x2x2":  func() machine.Config { return machine.HybridCluster(2, 2, 2) },
 	"dsm-2x2":       func() machine.Config { return machine.DSMCluster(2, 2) },
-}
-
-var experimentRunners = map[string]func() (*stats.Table, experiments.Keys, error){
-	"table1":        experiments.Table1,
-	"slowdown":      experiments.DetailedSlowdown,
-	"slowdown-task": experiments.TaskLevelSlowdown,
-	"memory": func() (*stats.Table, experiments.Keys, error) {
-		return experiments.MemoryScaling([]int{4, 16, 64})
-	},
-	"hybrid":                  experiments.HybridAgreement,
-	"validity":                experiments.TraceValidity,
-	"cache-sweep":             experiments.CacheSweep,
-	"network-sweep":           experiments.NetworkSweep,
-	"coherence":               experiments.CoherenceStudy,
-	"interconnect":            experiments.NodeInterconnectStudy,
-	"calibration":             experiments.Calibration,
-	"routing":                 experiments.RoutingStudy,
-	"imbalance":               experiments.ImbalanceStudy,
-	"scaling":                 experiments.ScalingStudy,
-	"stochastic-vs-annotated": experiments.StochasticVsAnnotated,
-}
-
-var experimentOrder = []string{
-	"table1", "slowdown", "slowdown-task", "memory", "hybrid",
-	"validity", "cache-sweep", "network-sweep", "coherence", "interconnect",
-	"calibration", "routing", "imbalance", "scaling", "stochastic-vs-annotated",
 }
 
 func presetNames() []string {
@@ -93,15 +71,18 @@ func main() {
 		descPath = flag.String("desc", "", "stochastic workload description JSON file")
 		traces   = flag.String("traces", "", "comma-separated binary trace files, one per processor")
 
-		experiment = flag.String("experiment", "", "run a reproduction experiment: all, "+strings.Join(experimentOrder, ", "))
+		experiment = flag.String("experiment", "", "run a reproduction experiment: all, "+strings.Join(experiments.Names(), ", "))
 		csv        = flag.Bool("csv", false, "emit experiment tables as CSV")
 		monitor    = flag.Int64("monitor", 0, "sample run-time metrics every N cycles (0 = off)")
 		monitorCSV = flag.String("monitor-csv", "", "write monitor samples to a CSV file")
+
+		parallel = flag.Int("parallel", runtime.NumCPU(), "max simulations to run concurrently (experiment sweeps and -repeats)")
+		repeats  = flag.Int("repeats", 1, "replications of the run with per-replica derived seeds")
 	)
 	flag.Parse()
 
 	if *experiment != "" {
-		if err := runExperiments(*experiment, *csv); err != nil {
+		if err := runExperiments(os.Stdout, *experiment, *csv, *parallel); err != nil {
 			fatal(err)
 		}
 		return
@@ -120,6 +101,41 @@ func main() {
 		return
 	}
 
+	if *app == "" && *descPath == "" && *traces == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	runName := *app
+	if runName == "" {
+		if *descPath != "" {
+			runName = *descPath
+		} else {
+			runName = *traces
+		}
+	}
+	runOnce := func(m *machine.Machine) (*machine.Result, error) {
+		switch {
+		case *app != "":
+			return runApp(m, *app, appParams{
+				rounds: *rounds, iters: *iters, bytes: uint32(*bytesF), cells: *cells, dim: *dim,
+			})
+		case *descPath != "":
+			return runDesc(m, *descPath)
+		default:
+			return runTraceFiles(m, strings.Split(*traces, ","))
+		}
+	}
+
+	if *repeats > 1 {
+		if *monitor > 0 {
+			fatal(fmt.Errorf("-monitor samples a single machine; use -repeats 1"))
+		}
+		if err := runReplicated(os.Stdout, cfg, runName, *repeats, *parallel, runOnce); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
 	wb, err := core.New(cfg)
 	if err != nil {
 		fatal(err)
@@ -134,20 +150,7 @@ func main() {
 		}
 	}
 
-	var res *machine.Result
-	switch {
-	case *app != "":
-		res, err = runApp(m, *app, appParams{
-			rounds: *rounds, iters: *iters, bytes: uint32(*bytesF), cells: *cells, dim: *dim,
-		})
-	case *descPath != "":
-		res, err = runDesc(m, *descPath)
-	case *traces != "":
-		res, err = runTraceFiles(m, strings.Split(*traces, ","))
-	default:
-		flag.Usage()
-		os.Exit(2)
-	}
+	res, err := runOnce(m)
 	if err != nil {
 		fatal(err)
 	}
@@ -264,30 +267,89 @@ func resolveConfig(preset, configPath string) (machine.Config, error) {
 	}
 }
 
-func runExperiments(which string, csv bool) error {
-	names := experimentOrder
+func runExperiments(w io.Writer, which string, csv bool, workers int) error {
+	exps := experiments.All()
 	if which != "all" {
-		if _, ok := experimentRunners[which]; !ok {
-			return fmt.Errorf("unknown experiment %q (have: all, %s)", which, strings.Join(experimentOrder, ", "))
+		e, ok := experiments.ByName(which)
+		if !ok {
+			return fmt.Errorf("unknown experiment %q (have: all, %s)", which, strings.Join(experiments.Names(), ", "))
 		}
-		names = []string{which}
+		exps = []experiments.Experiment{e}
 	}
-	for _, name := range names {
-		fmt.Printf("== experiment %s ==\n", name)
-		tb, _, err := experimentRunners[name]()
-		if err != nil {
-			return fmt.Errorf("experiment %s: %w", name, err)
-		}
-		if csv {
-			if err := tb.RenderCSV(os.Stdout); err != nil {
-				return err
+	return runExperimentSet(w, exps, csv, workers)
+}
+
+// runExperimentSet runs every experiment — a failure does not stop the rest —
+// printing each rendered table in canonical order and returning all failures
+// joined. Sweep points within an experiment are farmed across workers.
+func runExperimentSet(w io.Writer, exps []experiments.Experiment, csv bool, workers int) error {
+	jobs := make([]farm.Job, len(exps))
+	for i, e := range exps {
+		e := e
+		jobs[i] = farm.Job{Name: e.Name, Run: func(*farm.RunContext) (any, error) {
+			var buf bytes.Buffer
+			fmt.Fprintf(&buf, "== experiment %s ==\n", e.Name)
+			tb, _, err := e.Run(experiments.Params{Workers: workers})
+			if err != nil {
+				return nil, fmt.Errorf("experiment %s: %w", e.Name, err)
 			}
-		} else if err := tb.Render(os.Stdout); err != nil {
-			return err
-		}
-		fmt.Println()
+			if csv {
+				if err := tb.RenderCSV(&buf); err != nil {
+					return nil, err
+				}
+			} else if err := tb.Render(&buf); err != nil {
+				return nil, err
+			}
+			fmt.Fprintln(&buf)
+			return buf.String(), nil
+		}}
 	}
-	return nil
+	// Experiments farm their own sweep points; running them one at a time
+	// here keeps the worker budget from compounding.
+	rep := farm.New(1).Run(jobs)
+	for _, r := range rep.Results {
+		if r.Err == nil {
+			fmt.Fprint(w, r.Value.(string))
+		}
+	}
+	return rep.Errs()
+}
+
+// runReplicated executes the configured run `repeats` times with per-replica
+// derived seeds, farming the replicas across `workers` host goroutines, and
+// reports one row per replica plus batch aggregates.
+func runReplicated(w io.Writer, cfg machine.Config, name string, repeats, workers int, runOnce func(*machine.Machine) (*machine.Result, error)) error {
+	pool := farm.New(workers)
+	pool.Repeats = repeats
+	pool.Seed = cfg.Seed
+	job := farm.Job{Name: name, Run: func(rc *farm.RunContext) (any, error) {
+		c := cfg
+		c.Seed = rc.Seed
+		wb, err := core.New(c)
+		if err != nil {
+			return nil, err
+		}
+		m, err := wb.Build()
+		if err != nil {
+			return nil, err
+		}
+		res, err := runOnce(m)
+		if err != nil {
+			return nil, err
+		}
+		rc.ObserveSim(res.Cycles, res.Events)
+		return nil, nil
+	}}
+	rep := pool.Run([]farm.Job{job})
+	fmt.Fprintf(w, "%d replications of %s (%s), seeds derived from %d:\n", repeats, name, cfg.Name, cfg.Seed)
+	if err := rep.Table().Render(w); err != nil {
+		return err
+	}
+	fmt.Fprintln(w)
+	if err := stats.RenderSet(w, rep.Summary()); err != nil {
+		return err
+	}
+	return rep.Errs()
 }
 
 func fatal(err error) {

@@ -1,0 +1,95 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"mermaid/internal/experiments"
+	"mermaid/internal/machine"
+	"mermaid/internal/stats"
+	"mermaid/internal/workload"
+)
+
+func tableExp(name string, deterministic bool) experiments.Experiment {
+	return experiments.Experiment{
+		Name:          name,
+		Deterministic: deterministic,
+		Run: func(experiments.Params) (*stats.Table, experiments.Keys, error) {
+			tb := stats.NewTable("value")
+			tb.Row(name)
+			return tb, experiments.Keys{}, nil
+		},
+	}
+}
+
+func failExp(name string, err error) experiments.Experiment {
+	return experiments.Experiment{
+		Name: name,
+		Run: func(experiments.Params) (*stats.Table, experiments.Keys, error) {
+			return nil, nil, err
+		},
+	}
+}
+
+// A failing experiment must not stop the ones after it: every experiment runs,
+// every table prints, and every failure is reported in the returned error.
+func TestRunExperimentSetSurvivesFailures(t *testing.T) {
+	errA := errors.New("boom-a")
+	errB := errors.New("boom-b")
+	exps := []experiments.Experiment{
+		tableExp("first", true),
+		failExp("bad-a", errA),
+		tableExp("middle", true),
+		failExp("bad-b", errB),
+		tableExp("last", true),
+	}
+
+	var out bytes.Buffer
+	err := runExperimentSet(&out, exps, false, 2)
+	if err == nil {
+		t.Fatal("runExperimentSet returned nil error despite two failing experiments")
+	}
+	for _, want := range []error{errA, errB} {
+		if !errors.Is(err, want) {
+			t.Errorf("joined error %v does not wrap %v", err, want)
+		}
+	}
+	for _, name := range []string{"first", "middle", "last"} {
+		if !strings.Contains(out.String(), "== experiment "+name+" ==") {
+			t.Errorf("output missing header for experiment %q after a failure:\n%s", name, out.String())
+		}
+	}
+	// Order must stay canonical even though runs may finish out of order.
+	if f, l := strings.Index(out.String(), "first"), strings.Index(out.String(), "last"); f > l {
+		t.Errorf("experiment output out of submission order:\n%s", out.String())
+	}
+}
+
+func TestRunExperimentsUnknownName(t *testing.T) {
+	var out bytes.Buffer
+	err := runExperiments(&out, "no-such-experiment", false, 1)
+	if err == nil || !strings.Contains(err.Error(), "unknown experiment") {
+		t.Fatalf("err = %v, want unknown-experiment error", err)
+	}
+}
+
+// Replicated runs derive a distinct seed per replica and report one row each.
+func TestRunReplicated(t *testing.T) {
+	cfg := machine.T805Grid(2, 2)
+	runOnce := func(m *machine.Machine) (*machine.Result, error) {
+		return m.RunProgram(workload.Jacobi1D(m.Streams(), 64, 2))
+	}
+
+	var out bytes.Buffer
+	if err := runReplicated(&out, cfg, "jacobi", 3, 2, runOnce); err != nil {
+		t.Fatalf("runReplicated: %v", err)
+	}
+	if got := strings.Count(out.String(), "jacobi"); got != 4 { // header line + one row per replica
+		t.Errorf("report mentions jacobi %d times, want 4 (3 replica rows):\n%s", got, out.String())
+	}
+	if !strings.Contains(out.String(), "runs") {
+		t.Errorf("report missing aggregate summary:\n%s", out.String())
+	}
+}

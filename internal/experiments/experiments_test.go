@@ -1,14 +1,57 @@
 package experiments
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 
 	"mermaid/internal/ops"
+	"mermaid/internal/stats"
 )
 
+// render returns an experiment table as the exact bytes the CLI prints.
+func render(t *testing.T, tb *stats.Table) string {
+	t.Helper()
+	var sb strings.Builder
+	if err := tb.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String()
+}
+
+// TestDeterminismUnderParallelism is the farm's core guarantee: every
+// deterministic experiment produces byte-identical tables and identical key
+// maps whether its sweep points run sequentially or on 8 concurrent
+// workers. Parallelism changes wall time only, never results.
+func TestDeterminismUnderParallelism(t *testing.T) {
+	for _, e := range All() {
+		if !e.Deterministic {
+			continue
+		}
+		e := e
+		t.Run(e.Name, func(t *testing.T) {
+			t.Parallel()
+			seqTb, seqKeys, err := e.Run(Params{Workers: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			parTb, parKeys, err := e.Run(Params{Workers: 8})
+			if err != nil {
+				t.Fatal(err)
+			}
+			seq, par := render(t, seqTb), render(t, parTb)
+			if seq != par {
+				t.Errorf("tables differ between -parallel 1 and 8:\n--- sequential ---\n%s--- parallel ---\n%s", seq, par)
+			}
+			if !reflect.DeepEqual(seqKeys, parKeys) {
+				t.Errorf("keys differ: %v vs %v", seqKeys, parKeys)
+			}
+		})
+	}
+}
+
 func TestTable1(t *testing.T) {
-	tb, keys, err := Table1()
+	tb, keys, err := Table1(Params{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -61,7 +104,7 @@ func TestDetailedVsTaskSlowdownShape(t *testing.T) {
 }
 
 func TestMemoryScaling(t *testing.T) {
-	_, keys, err := MemoryScaling([]int{4, 16})
+	_, keys, err := MemoryScaling(Params{}, []int{4, 16})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,7 +149,7 @@ func TestTraceValidity(t *testing.T) {
 }
 
 func TestCacheSweep(t *testing.T) {
-	_, keys, err := CacheSweep()
+	_, keys, err := CacheSweep(Params{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -125,7 +168,7 @@ func TestCacheSweep(t *testing.T) {
 }
 
 func TestNetworkSweep(t *testing.T) {
-	_, keys, err := NetworkSweep()
+	_, keys, err := NetworkSweep(Params{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -217,7 +260,7 @@ func TestCalibrationRecoversHierarchy(t *testing.T) {
 }
 
 func TestRoutingStudy(t *testing.T) {
-	_, keys, err := RoutingStudy()
+	_, keys, err := RoutingStudy(Params{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -243,7 +286,7 @@ func TestImbalanceStudy(t *testing.T) {
 }
 
 func TestRoutingStudyAdaptive(t *testing.T) {
-	_, keys, err := RoutingStudy()
+	_, keys, err := RoutingStudy(Params{})
 	if err != nil {
 		t.Fatal(err)
 	}

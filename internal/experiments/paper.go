@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"runtime"
 
+	"mermaid/internal/farm"
 	"mermaid/internal/machine"
 	"mermaid/internal/ops"
 	"mermaid/internal/stats"
@@ -22,11 +23,38 @@ import (
 // Keys is the assertable outcome of an experiment.
 type Keys map[string]float64
 
+// measurement is one farmed run's contribution to an experiment table: a
+// pre-formatted row plus the key/value pairs it asserts. Collecting rows
+// from the farm in submission order keeps tables byte-identical to a
+// sequential run.
+type measurement struct {
+	row  []any
+	keys Keys
+}
+
+// collect runs the jobs on a pool and folds the measurements into the table
+// and key map, in submission order.
+func collect(p Params, jobs []farm.Job, tb *stats.Table, keys Keys) error {
+	rep := p.pool().Run(jobs)
+	if err := rep.Err(); err != nil {
+		return err
+	}
+	for _, v := range rep.Values() {
+		m := v.(measurement)
+		tb.Row(m.row...)
+		for k, val := range m.keys {
+			keys[k] = val
+		}
+	}
+	return nil
+}
+
 // Table1 (E1) executes every operation of Table 1 through the full detailed
 // simulator — the computational operations on a PowerPC 601 node, the
 // communication operations across a two-node T805 machine — and reports the
-// simulated cost of each.
-func Table1() (*stats.Table, Keys, error) {
+// simulated cost of each. Every operation is an independent cold machine, so
+// the measurements farm out across host workers.
+func Table1(p Params) (*stats.Table, Keys, error) {
 	tb := stats.NewTable("operation", "class", "cycles")
 	keys := Keys{}
 
@@ -44,17 +72,24 @@ func Table1() (*stats.Table, Keys, error) {
 		ops.NewCall(0x401000),
 		ops.NewRet(0x400020),
 	}
+	var jobs []farm.Job
 	for _, o := range compOps {
-		m, err := machine.New(machine.PPC601Machine())
-		if err != nil {
-			return nil, nil, err
-		}
-		res, err := m.Run([]trace.Source{trace.FromOps([]ops.Op{o})})
-		if err != nil {
-			return nil, nil, fmt.Errorf("op %s: %w", o, err)
-		}
-		tb.Row(o.String(), "computational", int64(res.Cycles))
-		keys[o.Kind.String()] = float64(res.Cycles)
+		o := o
+		jobs = append(jobs, farm.Job{Name: o.String(), Run: func(rc *farm.RunContext) (any, error) {
+			m, err := machine.New(machine.PPC601Machine())
+			if err != nil {
+				return nil, err
+			}
+			res, err := m.Run([]trace.Source{trace.FromOps([]ops.Op{o})})
+			if err != nil {
+				return nil, fmt.Errorf("op %s: %w", o, err)
+			}
+			rc.ObserveSim(res.Cycles, res.Events)
+			return measurement{
+				row:  []any{o.String(), "computational", int64(res.Cycles)},
+				keys: Keys{o.Kind.String(): float64(res.Cycles)},
+			}, nil
+		}})
 	}
 
 	// Communication operations on a 2x1 T805 machine.
@@ -72,16 +107,25 @@ func Table1() (*stats.Table, Keys, error) {
 		{"compute 5000", []ops.Op{ops.NewCompute(5000)}, nil, ops.Compute},
 	}
 	for _, c := range commCases {
-		m, err := machine.New(machine.T805Grid(2, 1))
-		if err != nil {
-			return nil, nil, err
-		}
-		res, err := m.Run([]trace.Source{trace.FromOps(c.node0), trace.FromOps(c.node1)})
-		if err != nil {
-			return nil, nil, fmt.Errorf("case %s: %w", c.name, err)
-		}
-		tb.Row(c.name, "communication", int64(res.Cycles))
-		keys[c.sample.String()] = float64(res.Cycles)
+		c := c
+		jobs = append(jobs, farm.Job{Name: c.name, Run: func(rc *farm.RunContext) (any, error) {
+			m, err := machine.New(machine.T805Grid(2, 1))
+			if err != nil {
+				return nil, err
+			}
+			res, err := m.Run([]trace.Source{trace.FromOps(c.node0), trace.FromOps(c.node1)})
+			if err != nil {
+				return nil, fmt.Errorf("case %s: %w", c.name, err)
+			}
+			rc.ObserveSim(res.Cycles, res.Events)
+			return measurement{
+				row:  []any{c.name, "communication", int64(res.Cycles)},
+				keys: Keys{c.sample.String(): float64(res.Cycles)},
+			}, nil
+		}})
+	}
+	if err := collect(p, jobs, tb, keys); err != nil {
+		return nil, nil, err
 	}
 	return tb, keys, nil
 }
@@ -182,18 +226,30 @@ func TaskLevelSlowdown() (*stats.Table, Keys, error) {
 // MemoryScaling (E4) measures host memory per simulated node as the machine
 // grows. Because the simulator interprets no machine instructions and caches
 // hold only tags, the footprint stays small and is dominated by the
-// trace-generating side (§6).
-func MemoryScaling(nodeCounts []int) (*stats.Table, Keys, error) {
+// trace-generating side (§6). The probes run through the farm for panic
+// isolation but always sequentially: heap accounting via runtime.MemStats is
+// process-global, so concurrent probes would attribute each other's
+// allocations.
+func MemoryScaling(_ Params, nodeCounts []int) (*stats.Table, Keys, error) {
 	tb := stats.NewTable("nodes", "heap KiB", "KiB/node")
 	keys := Keys{}
-	for _, n := range nodeCounts {
-		heap, err := heapForTaskMachine(n)
-		if err != nil {
-			return nil, nil, err
-		}
-		perNode := float64(heap) / 1024 / float64(n)
-		tb.Row(n, float64(heap)/1024, perNode)
-		keys[fmt.Sprintf("kib_per_node_%d", n)] = perNode
+	jobs := make([]farm.Job, len(nodeCounts))
+	for i, n := range nodeCounts {
+		n := n
+		jobs[i] = farm.Job{Name: fmt.Sprintf("nodes=%d", n), Run: func(rc *farm.RunContext) (any, error) {
+			heap, err := heapForTaskMachine(n)
+			if err != nil {
+				return nil, err
+			}
+			perNode := float64(heap) / 1024 / float64(n)
+			return measurement{
+				row:  []any{n, float64(heap) / 1024, perNode},
+				keys: Keys{fmt.Sprintf("kib_per_node_%d", n): perNode},
+			}, nil
+		}}
+	}
+	if err := collect(Params{Workers: 1}, jobs, tb, keys); err != nil {
+		return nil, nil, err
 	}
 	// Tags-only evidence: host cost of a cache is independent of simulated
 	// capacity.

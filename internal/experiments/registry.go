@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"mermaid/internal/farm"
+	"mermaid/internal/stats"
+)
+
+// Params tunes how an experiment executes on the host. The zero value runs
+// sequentially. Execution parameters never influence simulated results —
+// parallelism changes wall time only.
+type Params struct {
+	// Workers is the number of simulations an experiment may run
+	// concurrently (values below 1 mean sequential).
+	Workers int
+}
+
+// pool returns a farm pool configured by the parameters.
+func (p Params) pool() *farm.Pool { return farm.New(p.Workers) }
+
+// Experiment is a named, runnable reproduction experiment.
+type Experiment struct {
+	// Name is the CLI identifier (`mermaid -experiment <name>`).
+	Name string
+	// Deterministic marks experiments whose tables contain only simulated
+	// quantities: their rendered output is byte-identical across runs,
+	// hosts and worker counts. Non-deterministic tables include host wall
+	// time or heap measurements.
+	Deterministic bool
+	// Run executes the experiment.
+	Run func(Params) (*stats.Table, Keys, error)
+}
+
+// fixed adapts an experiment without host-execution knobs to the registry
+// signature.
+func fixed(f func() (*stats.Table, Keys, error)) func(Params) (*stats.Table, Keys, error) {
+	return func(Params) (*stats.Table, Keys, error) { return f() }
+}
+
+// All returns every experiment in canonical order (the order `-experiment
+// all` runs and EXPERIMENTS.md documents them).
+func All() []Experiment {
+	return []Experiment{
+		{Name: "table1", Deterministic: true, Run: Table1},
+		{Name: "slowdown", Run: fixed(DetailedSlowdown)},
+		{Name: "slowdown-task", Run: fixed(TaskLevelSlowdown)},
+		{Name: "memory", Run: func(p Params) (*stats.Table, Keys, error) {
+			return MemoryScaling(p, []int{4, 16, 64})
+		}},
+		{Name: "hybrid", Run: fixed(HybridAgreement)},
+		{Name: "validity", Deterministic: true, Run: fixed(TraceValidity)},
+		{Name: "cache-sweep", Deterministic: true, Run: CacheSweep},
+		{Name: "network-sweep", Deterministic: true, Run: NetworkSweep},
+		{Name: "coherence", Deterministic: true, Run: fixed(CoherenceStudy)},
+		{Name: "interconnect", Deterministic: true, Run: fixed(NodeInterconnectStudy)},
+		{Name: "calibration", Deterministic: true, Run: fixed(Calibration)},
+		{Name: "routing", Deterministic: true, Run: RoutingStudy},
+		{Name: "imbalance", Deterministic: true, Run: fixed(ImbalanceStudy)},
+		{Name: "scaling", Deterministic: true, Run: fixed(ScalingStudy)},
+		{Name: "stochastic-vs-annotated", Deterministic: true, Run: fixed(StochasticVsAnnotated)},
+	}
+}
+
+// ByName returns the named experiment.
+func ByName(name string) (Experiment, bool) {
+	for _, e := range All() {
+		if e.Name == name {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// Names returns the canonical experiment name list.
+func Names() []string {
+	exps := All()
+	names := make([]string, len(exps))
+	for i, e := range exps {
+		names[i] = e.Name
+	}
+	return names
+}

@@ -6,6 +6,7 @@ import (
 
 	"mermaid/internal/bus"
 	"mermaid/internal/cache"
+	"mermaid/internal/farm"
 	"mermaid/internal/machine"
 	"mermaid/internal/ops"
 	"mermaid/internal/router"
@@ -64,8 +65,9 @@ func TraceValidity() (*stats.Table, Keys, error) {
 // of private-cache parameters on performance, a study direct-execution
 // simulators can only do marginally. It sweeps the L1 size (and a couple of
 // associativity points) of the PowerPC 601 node under a fixed workload with
-// a 16 KiB working set.
-func CacheSweep() (*stats.Table, Keys, error) {
+// a 16 KiB working set. Each sweep point is an independent machine, farmed
+// across host workers; the table is identical for any worker count.
+func CacheSweep(p Params) (*stats.Table, Keys, error) {
 	tb := stats.NewTable("L1 size", "assoc", "hit ratio", "cycles", "CPI")
 	keys := Keys{}
 	desc := stochastic.Desc{
@@ -81,23 +83,36 @@ func CacheSweep() (*stats.Table, Keys, error) {
 	}
 	points := []pt{{2 << 10, 8}, {4 << 10, 8}, {8 << 10, 8}, {16 << 10, 8}, {32 << 10, 8},
 		{16 << 10, 1}, {16 << 10, 2}}
-	for _, p := range points {
-		cfg := machine.PPC601Machine()
-		cfg.Node.Hierarchy.Private[0].Size = p.size
-		cfg.Node.Hierarchy.Private[0].Assoc = p.assoc
-		m, err := machine.New(cfg)
-		if err != nil {
-			return nil, nil, err
-		}
-		res, err := m.RunStochastic(desc)
-		if err != nil {
-			return nil, nil, err
-		}
-		l1 := m.Nodes()[0].Hierarchy().PrivateCache(0, 0)
-		cpi := float64(res.Cycles) / float64(res.Instructions)
-		tb.Row(fmt.Sprintf("%dK", p.size>>10), p.assoc, l1.HitRatio(), int64(res.Cycles), cpi)
-		keys[fmt.Sprintf("hit_%dk_a%d", p.size>>10, p.assoc)] = l1.HitRatio()
-		keys[fmt.Sprintf("cycles_%dk_a%d", p.size>>10, p.assoc)] = float64(res.Cycles)
+	jobs := make([]farm.Job, len(points))
+	for i, point := range points {
+		point := point
+		jobs[i] = farm.Job{Name: fmt.Sprintf("l1=%dK/a%d", point.size>>10, point.assoc),
+			Run: func(rc *farm.RunContext) (any, error) {
+				cfg := machine.PPC601Machine()
+				cfg.Node.Hierarchy.Private[0].Size = point.size
+				cfg.Node.Hierarchy.Private[0].Assoc = point.assoc
+				m, err := machine.New(cfg)
+				if err != nil {
+					return nil, err
+				}
+				res, err := m.RunStochastic(desc)
+				if err != nil {
+					return nil, err
+				}
+				rc.ObserveSim(res.Cycles, res.Events)
+				l1 := m.Nodes()[0].Hierarchy().PrivateCache(0, 0)
+				cpi := float64(res.Cycles) / float64(res.Instructions)
+				return measurement{
+					row: []any{fmt.Sprintf("%dK", point.size>>10), point.assoc, l1.HitRatio(), int64(res.Cycles), cpi},
+					keys: Keys{
+						fmt.Sprintf("hit_%dk_a%d", point.size>>10, point.assoc):    l1.HitRatio(),
+						fmt.Sprintf("cycles_%dk_a%d", point.size>>10, point.assoc): float64(res.Cycles),
+					},
+				}, nil
+			}}
+	}
+	if err := collect(p, jobs, tb, keys); err != nil {
+		return nil, nil, err
 	}
 	return tb, keys, nil
 }
@@ -105,8 +120,8 @@ func CacheSweep() (*stats.Table, Keys, error) {
 // NetworkSweep (E8) evaluates interconnect design options on the task-level
 // model: topology x switching strategy under a fixed communication-bound
 // load, reporting latency and cost metrics — the §4.2 parameterisation at
-// work.
-func NetworkSweep() (*stats.Table, Keys, error) {
+// work. The 12 design points farm across host workers.
+func NetworkSweep(p Params) (*stats.Table, Keys, error) {
 	const nodes = 16
 	tb := stats.NewTable("topology", "switching", "cycles", "mean msg latency", "max link util", "links")
 	keys := Keys{}
@@ -124,27 +139,40 @@ func NetworkSweep() (*stats.Table, Keys, error) {
 			Comm:     stochastic.Comm{Pattern: stochastic.RandomPairs, Bytes: 2048},
 		}},
 	}
+	var jobs []farm.Job
 	for _, tc := range topos {
-		topo, err := topology.New(tc)
-		if err != nil {
-			return nil, nil, err
-		}
 		for _, sw := range switchings {
-			m, err := machine.New(machine.GenericTaskMachine(tc, nodes, sw))
-			if err != nil {
-				return nil, nil, err
-			}
-			res, err := m.RunStochastic(desc)
-			if err != nil {
-				return nil, nil, err
-			}
-			lat := m.Network().MessageLatency().Mean()
-			_, maxU := m.Network().LinkUtilization()
-			tb.Row(topo.Name(), sw.String(), int64(res.Cycles), lat, maxU, topology.Links(topo))
-			key := fmt.Sprintf("%s/%s", tc.Kind, shortSw(sw))
-			keys[key+"/latency"] = lat
-			keys[key+"/cycles"] = float64(res.Cycles)
+			tc, sw := tc, sw
+			jobs = append(jobs, farm.Job{Name: fmt.Sprintf("%s/%s", tc.Kind, shortSw(sw)),
+				Run: func(rc *farm.RunContext) (any, error) {
+					topo, err := topology.New(tc)
+					if err != nil {
+						return nil, err
+					}
+					m, err := machine.New(machine.GenericTaskMachine(tc, nodes, sw))
+					if err != nil {
+						return nil, err
+					}
+					res, err := m.RunStochastic(desc)
+					if err != nil {
+						return nil, err
+					}
+					rc.ObserveSim(res.Cycles, res.Events)
+					lat := m.Network().MessageLatency().Mean()
+					_, maxU := m.Network().LinkUtilization()
+					key := fmt.Sprintf("%s/%s", tc.Kind, shortSw(sw))
+					return measurement{
+						row: []any{topo.Name(), sw.String(), int64(res.Cycles), lat, maxU, topology.Links(topo)},
+						keys: Keys{
+							key + "/latency": lat,
+							key + "/cycles":  float64(res.Cycles),
+						},
+					}, nil
+				}})
 		}
+	}
+	if err := collect(p, jobs, tb, keys); err != nil {
+		return nil, nil, err
 	}
 	return tb, keys, nil
 }
@@ -309,43 +337,56 @@ func NodeInterconnectStudy() (*stats.Table, Keys, error) {
 // RoutingStudy (§4.2's configurable routing strategy): an adversarial
 // permutation (antipodal in one torus dimension, so deterministic minimal
 // routing piles all traffic onto one dimension's links) under minimal vs
-// Valiant randomised routing.
-func RoutingStudy() (*stats.Table, Keys, error) {
+// Valiant randomised routing. The strategies farm across host workers.
+func RoutingStudy(p Params) (*stats.Table, Keys, error) {
 	const nodes = 16
 	tb := stats.NewTable("routing", "cycles", "mean hops", "mean latency", "max link util")
 	keys := Keys{}
-	for _, rt := range []router.Routing{router.Minimal, router.Valiant, router.Adaptive} {
-		cfg := machine.GenericTaskMachine(topology.Config{Kind: topology.Torus2D, DimX: 4, DimY: 4}, nodes, router.VirtualCutThrough)
-		cfg.Network.Router.Routing = rt
-		cfg.Network.Seed = 5
-		m, err := machine.New(cfg)
-		if err != nil {
-			return nil, nil, err
-		}
-		// Build the adversarial permutation as task traces directly.
-		srcs := make([]trace.Source, nodes)
-		for i := 0; i < nodes; i++ {
-			dst := (i + 8) % nodes
-			var tr []ops.Op
-			for r := 0; r < 6; r++ {
-				tag := uint32(100 + r)
-				tr = append(tr,
-					ops.NewASend(2048, int32(dst), tag),
-					ops.NewRecv(int32((i+8)%nodes), tag),
-				)
+	strategies := []router.Routing{router.Minimal, router.Valiant, router.Adaptive}
+	jobs := make([]farm.Job, len(strategies))
+	for i, rt := range strategies {
+		rt := rt
+		jobs[i] = farm.Job{Name: rt.String(), Run: func(rc *farm.RunContext) (any, error) {
+			cfg := machine.GenericTaskMachine(topology.Config{Kind: topology.Torus2D, DimX: 4, DimY: 4}, nodes, router.VirtualCutThrough)
+			cfg.Network.Router.Routing = rt
+			cfg.Network.Seed = 5
+			m, err := machine.New(cfg)
+			if err != nil {
+				return nil, err
 			}
-			srcs[i] = trace.FromOps(tr)
-		}
-		res, err := m.Run(srcs)
-		if err != nil {
-			return nil, nil, err
-		}
-		_, maxU := m.Network().LinkUtilization()
-		lat := m.Network().MessageLatency().Mean()
-		tb.Row(rt.String(), int64(res.Cycles), m.Network().MeanHops(), lat, maxU)
-		keys[rt.String()+"/cycles"] = float64(res.Cycles)
-		keys[rt.String()+"/hops"] = m.Network().MeanHops()
-		keys[rt.String()+"/maxutil"] = maxU
+			// Build the adversarial permutation as task traces directly.
+			srcs := make([]trace.Source, nodes)
+			for i := 0; i < nodes; i++ {
+				dst := (i + 8) % nodes
+				var tr []ops.Op
+				for r := 0; r < 6; r++ {
+					tag := uint32(100 + r)
+					tr = append(tr,
+						ops.NewASend(2048, int32(dst), tag),
+						ops.NewRecv(int32((i+8)%nodes), tag),
+					)
+				}
+				srcs[i] = trace.FromOps(tr)
+			}
+			res, err := m.Run(srcs)
+			if err != nil {
+				return nil, err
+			}
+			rc.ObserveSim(res.Cycles, res.Events)
+			_, maxU := m.Network().LinkUtilization()
+			lat := m.Network().MessageLatency().Mean()
+			return measurement{
+				row: []any{rt.String(), int64(res.Cycles), m.Network().MeanHops(), lat, maxU},
+				keys: Keys{
+					rt.String() + "/cycles":  float64(res.Cycles),
+					rt.String() + "/hops":    m.Network().MeanHops(),
+					rt.String() + "/maxutil": maxU,
+				},
+			}, nil
+		}}
+	}
+	if err := collect(p, jobs, tb, keys); err != nil {
+		return nil, nil, err
 	}
 	return tb, keys, nil
 }

@@ -283,6 +283,9 @@ func (m *Machine) RunProgram(prog *trace.Program) (*Result, error) {
 			prog.Threads, m.Streams())
 	}
 	threads := prog.Start()
+	// Reap generator goroutines left parked by an aborted run (trace error,
+	// deadlock); after a completed run this is a no-op.
+	defer prog.Close()
 	srcs := make([]trace.Source, len(threads))
 	for i, th := range threads {
 		srcs[i] = th

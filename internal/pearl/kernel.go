@@ -164,7 +164,9 @@ func (k *Kernel) Run() Time {
 }
 
 // RunUntil executes events with timestamps <= t, then sets the clock to t if
-// the simulation got that far. It returns the final virtual time.
+// the simulation got that far. Like Run, a call to Stop ends execution after
+// the current event with the clock left where it stopped — a stopped run
+// never silently advances time. It returns the final virtual time.
 func (k *Kernel) RunUntil(t Time) Time {
 	k.stopped = false
 	for !k.stopped {
@@ -177,7 +179,7 @@ func (k *Kernel) RunUntil(t Time) Time {
 		}
 		k.step()
 	}
-	if k.now < t && len(k.events) == 0 {
+	if !k.stopped && k.now < t && len(k.events) == 0 {
 		k.now = t
 	}
 	return k.now

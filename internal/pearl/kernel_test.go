@@ -134,6 +134,38 @@ func TestRunUntilEmptyScheduleAdvancesClock(t *testing.T) {
 	}
 }
 
+// Regression: RunUntil used to advance the clock to t after Stop() drained
+// the last event, inconsistent with Run's stop semantics.
+func TestRunUntilStoppedDoesNotAdvanceClock(t *testing.T) {
+	k := NewKernel()
+	k.At(5, func() { k.Stop() })
+	if end := k.RunUntil(100); end != 5 {
+		t.Fatalf("RunUntil returned %d, want 5 (stopped)", end)
+	}
+	if k.Now() != 5 {
+		t.Fatalf("Now = %d after stopped RunUntil, want 5", k.Now())
+	}
+	// Resuming with an empty schedule behaves as before: the clock advances
+	// to the horizon.
+	if end := k.RunUntil(100); end != 100 {
+		t.Fatalf("resumed RunUntil returned %d, want 100", end)
+	}
+}
+
+func TestRunUntilStoppedWithPendingEvents(t *testing.T) {
+	k := NewKernel()
+	fired := 0
+	k.At(5, func() { fired++; k.Stop() })
+	k.At(7, func() { fired++ })
+	if end := k.RunUntil(100); end != 5 || fired != 1 {
+		t.Fatalf("RunUntil = %d, fired = %d; want 5, 1", end, fired)
+	}
+	k.Run()
+	if fired != 2 || k.Now() != 7 {
+		t.Fatalf("after resume: fired = %d, now = %d", fired, k.Now())
+	}
+}
+
 func TestStop(t *testing.T) {
 	k := NewKernel()
 	n := 0

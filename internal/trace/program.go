@@ -3,6 +3,7 @@ package trace
 import (
 	"fmt"
 	"io"
+	"sync"
 
 	"mermaid/internal/ops"
 )
@@ -13,9 +14,9 @@ import (
 // streams that the architecture simulator consumes; the per-thread handshake
 // at global events implements physical-time interleaving.
 // A program's goroutines live until their bodies return. If a simulation
-// aborts early (trace error, deadlock), threads blocked on emission stay
-// parked for the process lifetime; machines and programs are single-use, so
-// treat an aborted run's program as consumed.
+// aborts early (trace error, deadlock), call Close to unblock and reap the
+// threads still parked on emission or feedback; machines and programs are
+// single-use, so treat an aborted run's program as consumed.
 type Program struct {
 	// Threads is the number of application threads (= simulated nodes).
 	Threads int
@@ -25,6 +26,8 @@ type Program struct {
 	// Buffer is the per-thread local-operation buffer depth (how far a
 	// thread may run ahead); 0 selects a default.
 	Buffer int
+
+	threads []*Thread
 }
 
 // DefaultBuffer is the run-ahead window for local operations.
@@ -48,17 +51,28 @@ func (pr *Program) Start() []*Thread {
 			n:      pr.Threads,
 			ch:     make(chan Event, buf),
 			resume: make(chan Feedback),
+			done:   make(chan struct{}),
 		}
 	}
+	pr.threads = threads
 	for _, t := range threads {
 		t := t
 		go func() {
 			defer close(t.ch)
 			defer func() {
-				if v := recover(); v != nil {
-					// Deliver the panic to the consumer side instead of
-					// killing the host process.
-					t.ch <- Event{Op: ops.Op{}, Payload: threadPanic{v}}
+				v := recover()
+				if v == nil {
+					return
+				}
+				if _, stopped := v.(threadStopped); stopped {
+					// Close unwound the thread; nothing to report.
+					return
+				}
+				// Deliver the panic to the consumer side instead of killing
+				// the host process — unless the consumer is gone already.
+				select {
+				case t.ch <- Event{Op: ops.Op{}, Payload: threadPanic{v}}:
+				case <-t.done:
 				}
 			}()
 			pr.Body(t)
@@ -67,7 +81,24 @@ func (pr *Program) Start() []*Thread {
 	return threads
 }
 
+// Close cancels the program's generator threads: every thread parked on
+// emission or awaiting simulator feedback unwinds (running its deferred
+// calls) and its goroutine exits, instead of staying parked for the process
+// lifetime. Call it when a simulation aborts early; after a completed run it
+// is a harmless no-op. Close is idempotent. It must not be called while a
+// simulator is still actively driving the threads, and the consumer side
+// must not rely on Next after Close (the streams end).
+func (pr *Program) Close() {
+	for _, t := range pr.threads {
+		t.Close()
+	}
+}
+
 type threadPanic struct{ v any }
+
+// threadStopped is the sentinel panic that unwinds a generator goroutine
+// when its thread is closed.
+type threadStopped struct{}
 
 // Thread is the generator side of one application thread plus the consumer
 // side used by the simulator (Next). Producer methods (Emit, Send, Recv, …)
@@ -77,9 +108,32 @@ type Thread struct {
 	n      int
 	ch     chan Event
 	resume chan Feedback
+	done   chan struct{}
+	once   sync.Once
 
 	emitted    uint64
 	nextHandle uint64
+}
+
+// Close cancels this thread's generator goroutine (see Program.Close). It is
+// idempotent and safe to call from any goroutine.
+func (t *Thread) Close() {
+	t.once.Do(func() { close(t.done) })
+}
+
+// deliver hands one event to the consumer, unwinding the generator if the
+// thread was closed while parked (buffer full, consumer gone).
+func (t *Thread) deliver(ev Event) {
+	select {
+	case <-t.done:
+		panic(threadStopped{})
+	default:
+	}
+	select {
+	case t.ch <- ev:
+	case <-t.done:
+		panic(threadStopped{})
+	}
 }
 
 // ID returns the thread's node rank.
@@ -113,15 +167,20 @@ func (t *Thread) Emit(o ops.Op) {
 		panic(fmt.Sprintf("trace: Emit of global event %s; use Send/Recv", o.Kind))
 	}
 	t.emitted++
-	t.ch <- Event{Op: o}
+	t.deliver(Event{Op: o})
 }
 
 // emitGlobal produces a global event and suspends until the simulator
 // resumes the thread.
 func (t *Thread) emitGlobal(o ops.Op, payload any) Feedback {
 	t.emitted++
-	t.ch <- Event{Op: o, Payload: payload, Resume: t.resume}
-	return <-t.resume
+	t.deliver(Event{Op: o, Payload: payload, Resume: t.resume})
+	select {
+	case fb := <-t.resume:
+		return fb
+	case <-t.done:
+		panic(threadStopped{})
+	}
 }
 
 // Send performs a synchronous (blocking) send: the thread suspends until the

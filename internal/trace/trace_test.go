@@ -3,7 +3,9 @@ package trace
 import (
 	"bytes"
 	"io"
+	"runtime"
 	"testing"
+	"time"
 
 	"mermaid/internal/ops"
 )
@@ -260,6 +262,102 @@ func TestCollectRefusesGlobalEvents(t *testing.T) {
 	if _, err := Collect(th); err == nil {
 		t.Fatal("Collect must refuse global events")
 	}
+}
+
+// waitGoroutines polls until the goroutine count drops back to at most want,
+// failing after a deadline.
+func waitGoroutines(t *testing.T, want int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.Gosched()
+		if n := runtime.NumGoroutine(); n <= want {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines leaked: %d alive, want <= %d\n%s",
+				runtime.NumGoroutine(), want, buf[:n])
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestCloseReapsParkedThreads is the regression test for the generator-
+// goroutine leak: threads of an abandoned run — parked on a full emission
+// buffer or awaiting global-event feedback — must exit once the program is
+// closed, or a farm running thousands of simulations in one process
+// accumulates them forever.
+func TestCloseReapsParkedThreads(t *testing.T) {
+	before := runtime.NumGoroutine()
+	const programs = 20
+	for i := 0; i < programs; i++ {
+		pr := &Program{
+			Threads: 4,
+			Buffer:  2,
+			Body: func(th *Thread) {
+				// Thread 0 parks awaiting feedback for its global event;
+				// the rest overrun the local buffer and park on emission.
+				if th.ID() == 0 {
+					th.Send(1, 64, 0, nil)
+				}
+				for j := 0; j < 100; j++ {
+					th.Emit(ops.NewArith(ops.Add, ops.TypeInt))
+				}
+			},
+		}
+		threads := pr.Start()
+		// Simulate an aborted run: consume a single event, then give up.
+		if _, err := threads[1].Next(); err != nil {
+			t.Fatal(err)
+		}
+		pr.Close()
+	}
+	// All generator goroutines must be reaped (small slack for runtime
+	// helpers unrelated to the programs).
+	waitGoroutines(t, before+2)
+}
+
+// TestCloseRunsThreadDefers checks that closing unwinds thread bodies
+// through their deferred calls — application cleanup still runs.
+func TestCloseRunsThreadDefers(t *testing.T) {
+	cleaned := make(chan int, 2)
+	pr := &Program{
+		Threads: 2,
+		Buffer:  1,
+		Body: func(th *Thread) {
+			defer func() { cleaned <- th.ID() }()
+			th.Send(1-th.ID(), 8, 0, nil) // parks forever: nobody resumes
+		},
+	}
+	pr.Start()
+	pr.Close()
+	for i := 0; i < 2; i++ {
+		select {
+		case <-cleaned:
+		case <-time.After(5 * time.Second):
+			t.Fatal("thread deferred cleanup never ran after Close")
+		}
+	}
+}
+
+// TestCloseIdempotentAndAfterCompletion checks Close is safe twice and after
+// a program ran to completion.
+func TestCloseIdempotentAndAfterCompletion(t *testing.T) {
+	pr := &Program{
+		Threads: 1,
+		Body: func(th *Thread) {
+			th.Emit(ops.NewArith(ops.Add, ops.TypeInt))
+		},
+	}
+	th := pr.Start()[0]
+	if _, err := Collect(th); err != nil {
+		t.Fatal(err)
+	}
+	pr.Close()
+	pr.Close()
+	th.Close()
 }
 
 func TestRunAheadBounded(t *testing.T) {
