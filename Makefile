@@ -26,8 +26,12 @@ test:
 experiments:
 	go run ./cmd/mermaid -experiment all
 
+# Kernel micro-benchmarks plus the end-to-end slowdown benchmarks, six
+# repetitions each so medians are stable; BENCH_kernel.json tracks the
+# before/after summary of the allocation-free kernel work.
 bench:
-	go test -bench=. -benchmem ./...
+	go test -run '^$$' -bench . -benchmem -count=6 ./internal/pearl
+	go test -run '^$$' -bench Slowdown -benchmem -count=6 .
 
 examples:
 	go run ./examples/quickstart

@@ -21,6 +21,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 
@@ -78,8 +79,18 @@ func main() {
 
 		parallel = flag.Int("parallel", runtime.NumCPU(), "max simulations to run concurrently (experiment sweeps and -repeats)")
 		repeats  = flag.Int("repeats", 1, "replications of the run with per-replica derived seeds")
+
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	stop, err := startProfiles(*cpuProfile, *memProfile)
+	if err != nil {
+		fatal(err)
+	}
+	profileStop = stop
+	defer stop()
 
 	if *experiment != "" {
 		if err := runExperiments(os.Stdout, *experiment, *csv, *parallel); err != nil {
@@ -352,7 +363,52 @@ func runReplicated(w io.Writer, cfg machine.Config, name string, repeats, worker
 	return rep.Errs()
 }
 
+// profileStop flushes any active profiles. fatal calls it explicitly because
+// os.Exit skips deferred calls; startProfiles makes it safe to run twice.
+var profileStop = func() {}
+
+// startProfiles starts CPU profiling and/or arranges a heap profile dump,
+// returning an idempotent stop function that flushes both.
+func startProfiles(cpuPath, memPath string) (func(), error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("starting CPU profile: %w", err)
+		}
+		cpuFile = f
+	}
+	done := false
+	return func() {
+		if done {
+			return
+		}
+		done = true
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "mermaid:", err)
+				return
+			}
+			runtime.GC() // collect garbage so the profile shows live objects
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "mermaid:", err)
+			}
+			f.Close()
+		}
+	}, nil
+}
+
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "mermaid:", err)
+	profileStop()
 	os.Exit(1)
 }

@@ -15,6 +15,7 @@
 package machine
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -98,13 +99,18 @@ func (c *Config) Validate() error {
 
 func (c *Config) hasNetwork() bool { return c.Nodes > 1 }
 
-// ParseConfig decodes a machine configuration from JSON.
+// ParseConfig decodes a machine configuration from JSON. Anything but
+// whitespace after the JSON document is an error: a truncated or
+// concatenated configuration must not silently half-parse.
 func ParseConfig(data []byte) (Config, error) {
 	var cfg Config
-	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec := json.NewDecoder(bytes.NewReader(data))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&cfg); err != nil {
 		return Config{}, fmt.Errorf("machine: parsing config: %w", err)
+	}
+	if _, err := dec.Token(); err != io.EOF {
+		return Config{}, fmt.Errorf("machine: trailing data after configuration JSON")
 	}
 	if err := cfg.Validate(); err != nil {
 		return Config{}, err

@@ -236,6 +236,22 @@ func TestParseConfigRejectsUnknownFields(t *testing.T) {
 	}
 }
 
+func TestParseConfigRejectsTrailingGarbage(t *testing.T) {
+	valid, err := json.Marshal(PPC601Machine())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, trailer := range []string{"garbage", "{}", `{"Mode":"task"}`, "[1,2]"} {
+		if _, err := ParseConfig(append(append([]byte{}, valid...), trailer...)); err == nil {
+			t.Errorf("config followed by %q parsed without error", trailer)
+		}
+	}
+	// Trailing whitespace stays legal.
+	if _, err := ParseConfig(append(append([]byte{}, valid...), " \n\t"...)); err != nil {
+		t.Errorf("trailing whitespace rejected: %v", err)
+	}
+}
+
 func TestSharedMemoryMachineNoNetwork(t *testing.T) {
 	m, err := New(PPC601SMP(2))
 	if err != nil {

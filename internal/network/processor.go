@@ -18,7 +18,7 @@ import (
 // simulated as single compute(duration) events.
 type Processor struct {
 	ni  *NodeIf
-	src trace.Source
+	src *trace.Cursor
 
 	computeCycles pearl.Time
 	taskCount     stats.Counter
@@ -27,9 +27,10 @@ type Processor struct {
 }
 
 // NewProcessor creates an abstract processor on node interface ni consuming
-// the given trace source.
+// the given trace source. The source is drained through a batched cursor:
+// one pull per batch rather than per operation.
 func NewProcessor(ni *NodeIf, src trace.Source) *Processor {
-	return &Processor{ni: ni, src: src}
+	return &Processor{ni: ni, src: trace.NewCursor(src)}
 }
 
 // Spawn starts the processor as a simulation process on kernel k.

@@ -121,10 +121,14 @@ func (n *Node) Run(cpuIdx int, src trace.Source) {
 	r := &runner{}
 	n.runners = append(n.runners, r)
 	c := n.cpus[cpuIdx]
+	// Pull through a cursor: batched sources (generator threads, trace
+	// replays) hand over operations many at a time, so the per-operation
+	// cost in this loop is a slice index, not a channel transfer.
+	cur := trace.NewCursor(src)
 	r.proc = n.k.Spawn(fmt.Sprintf("node%d.cpu%d", n.id, cpuIdx), func(p *pearl.Process) {
 		defer func() { r.done = true }()
 		for {
-			ev, err := src.Next()
+			ev, err := cur.Next()
 			if err == io.EOF {
 				n.emitTask(p, cpuIdx, nil)
 				return

@@ -9,10 +9,17 @@
 // schedule order, and at most one process goroutine runs at any moment. Given
 // identical inputs, a simulation produces identical traces and statistics,
 // which the trace-validity guarantees of the environment rely on.
+//
+// The event queue is allocation-free on the steady state: events live in a
+// slab of reusable slots addressed by index, ordered by a hand-specialized
+// 4-ary heap, with generation-counted Timer handles for cancellation (lazy
+// invalidation — a cancelled event stays queued and is discarded unfired when
+// it surfaces). Events scheduled for the current instant bypass the heap
+// through a FIFO run queue, so zero-delay cascades (mailbox handoffs, bus
+// grants) cost no heap reordering at all.
 package pearl
 
 import (
-	"container/heap"
 	"fmt"
 )
 
@@ -24,73 +31,93 @@ type Time int64
 // Forever is a virtual time later than any time a simulation can reach.
 const Forever Time = 1<<63 - 1
 
-// event is a scheduled callback in virtual time.
-type event struct {
-	at  Time
-	seq uint64 // tie-breaker: FIFO among equal times
-	fn  func()
-	idx int // heap index, -1 if popped/cancelled
+// eventKind discriminates what firing an event slot does.
+type eventKind uint8
+
+const (
+	// evFree marks a slot on the free list.
+	evFree eventKind = iota
+	// evCancelled marks a queued slot whose timer was cancelled; it is
+	// released unfired when it reaches the front (lazy invalidation).
+	evCancelled
+	// evFunc runs a callback closure.
+	evFunc
+	// evHold resumes a process parked in Hold — no closure needed.
+	evHold
+	// evWake is an idempotent process activation (park/unpark) — no closure
+	// needed.
+	evWake
+)
+
+// eventSlot is one entry of the kernel's event slab. Slots are reused through
+// a free list; gen increments on every release so stale Timer handles can
+// never cancel a recycled slot.
+type eventSlot struct {
+	at   Time
+	seq  uint64 // tie-breaker: FIFO among equal times
+	fn   func() // evFunc only
+	proc *Process
+	gen  uint32
+	kind eventKind
 }
 
-// eventHeap orders events by (time, sequence).
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].idx = i
-	h[j].idx = j
-}
-func (h *eventHeap) Push(x any) {
-	ev := x.(*event)
-	ev.idx = len(*h)
-	*h = append(*h, ev)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.idx = -1
-	*h = old[:n-1]
-	return ev
-}
-
-// Timer is a handle to a scheduled event that can be cancelled.
+// Timer is a generation-counted handle to a scheduled event. The zero Timer
+// is valid and never pending. Timers are plain values: scheduling does not
+// allocate.
 type Timer struct {
-	k  *Kernel
-	ev *event
+	k   *Kernel
+	idx int32
+	gen uint32
 }
 
-// Cancel removes the event from the schedule. Cancelling an already-fired or
-// already-cancelled timer is a no-op. It reports whether the event was still
-// pending.
-func (t *Timer) Cancel() bool {
-	if t == nil || t.ev == nil || t.ev.idx < 0 {
+// Cancel invalidates the event. The entry stays queued and is discarded,
+// unfired and uncounted, when it surfaces (lazy invalidation — no heap
+// removal). Cancelling an already-fired or already-cancelled timer is a
+// no-op. It reports whether the event was still pending.
+func (t Timer) Cancel() bool {
+	if t.k == nil {
 		return false
 	}
-	heap.Remove(&t.k.events, t.ev.idx)
-	t.ev.fn = nil
+	s := &t.k.slots[t.idx]
+	if s.gen != t.gen || s.kind < evFunc {
+		return false
+	}
+	s.kind = evCancelled
+	s.fn = nil
+	s.proc = nil
+	t.k.live--
 	return true
 }
 
 // Pending reports whether the timer's event has not yet fired or been
 // cancelled.
-func (t *Timer) Pending() bool { return t != nil && t.ev != nil && t.ev.idx >= 0 }
+func (t Timer) Pending() bool {
+	if t.k == nil {
+		return false
+	}
+	s := &t.k.slots[t.idx]
+	return s.gen == t.gen && s.kind >= evFunc
+}
 
 // Kernel is a discrete-event simulation engine. The zero value is not usable;
 // create kernels with NewKernel.
 type Kernel struct {
-	now    Time
-	seq    uint64
-	events eventHeap
-	procs  []*Process
+	now Time
+	seq uint64
+
+	slots []eventSlot // slab of event storage, addressed by index
+	free  []int32     // released slot indices available for reuse
+	heap  []int32     // 4-ary min-heap of slot indices, keyed by (at, seq)
+
+	// runq is the same-timestamp FIFO run queue: events scheduled for the
+	// current instant. Because virtual time is monotonic and seq strictly
+	// increases, the queue is ordered by (at, seq) by construction, so the
+	// front is its minimum and zero-delay cascades bypass heap push/pop.
+	runq     []int32
+	runqHead int
+
+	live  int // queued events that are not cancelled
+	procs []*Process
 
 	// current is the process whose goroutine currently has control, or nil
 	// when the kernel itself (an event callback) is running.
@@ -109,49 +136,204 @@ func NewKernel() *Kernel {
 func (k *Kernel) Now() Time { return k.now }
 
 // EventCount returns the number of events executed so far; useful as a cheap
-// progress and cost metric.
+// progress and cost metric. Cancelled events are never executed or counted.
 func (k *Kernel) EventCount() uint64 { return k.eventCount }
 
+// schedule allocates a slot for an event at absolute time t and queues it.
+// The caller guarantees t >= k.now.
+func (k *Kernel) schedule(t Time, kind eventKind, fn func(), proc *Process) Timer {
+	var idx int32
+	if n := len(k.free); n > 0 {
+		idx = k.free[n-1]
+		k.free = k.free[:n-1]
+	} else {
+		k.slots = append(k.slots, eventSlot{})
+		idx = int32(len(k.slots) - 1)
+	}
+	s := &k.slots[idx]
+	s.at = t
+	s.seq = k.seq
+	s.fn = fn
+	s.proc = proc
+	s.kind = kind
+	k.seq++
+	k.live++
+	if t == k.now {
+		k.runq = append(k.runq, idx)
+	} else {
+		k.heapPush(idx)
+	}
+	return Timer{k: k, idx: idx, gen: s.gen}
+}
+
+// release returns a slot to the free list, bumping its generation so stale
+// Timer handles become inert.
+func (k *Kernel) release(idx int32) {
+	s := &k.slots[idx]
+	s.fn = nil
+	s.proc = nil
+	s.kind = evFree
+	s.gen++
+	k.free = append(k.free, idx)
+}
+
 // At schedules fn to run at absolute virtual time t, which must not be in the
-// past. It returns a cancellable Timer.
-func (k *Kernel) At(t Time, fn func()) *Timer {
+// past. It returns a cancellable Timer. On the steady state (slab warm) this
+// performs no heap allocation.
+func (k *Kernel) At(t Time, fn func()) Timer {
 	if t < k.now {
 		panic(fmt.Sprintf("pearl: scheduling event at %d, before current time %d", t, k.now))
 	}
-	ev := &event{at: t, seq: k.seq, fn: fn}
-	k.seq++
-	heap.Push(&k.events, ev)
-	return &Timer{k: k, ev: ev}
+	return k.schedule(t, evFunc, fn, nil)
 }
 
 // After schedules fn to run d cycles from now. Negative d panics.
-func (k *Kernel) After(d Time, fn func()) *Timer {
+func (k *Kernel) After(d Time, fn func()) Timer {
 	if d < 0 {
 		panic(fmt.Sprintf("pearl: negative delay %d", d))
 	}
-	return k.At(k.now+d, fn)
+	return k.schedule(k.now+d, evFunc, fn, nil)
 }
 
 // Stop makes Run return after the currently executing event completes.
 func (k *Kernel) Stop() { k.stopped = true }
 
+// less orders queued events by (time, sequence).
+func (k *Kernel) less(a, b int32) bool {
+	sa, sb := &k.slots[a], &k.slots[b]
+	if sa.at != sb.at {
+		return sa.at < sb.at
+	}
+	return sa.seq < sb.seq
+}
+
+// 4-ary heap: shallower than binary for the same size, so fewer slot-compare
+// cache misses per push/pop.
+const heapArity = 4
+
+func (k *Kernel) heapPush(idx int32) {
+	k.heap = append(k.heap, idx)
+	h := k.heap
+	i := len(h) - 1
+	moving := h[i]
+	for i > 0 {
+		parent := (i - 1) / heapArity
+		if !k.less(moving, h[parent]) {
+			break
+		}
+		h[i] = h[parent]
+		i = parent
+	}
+	h[i] = moving
+}
+
+func (k *Kernel) heapPop() int32 {
+	h := k.heap
+	top := h[0]
+	n := len(h) - 1
+	moving := h[n]
+	k.heap = h[:n]
+	if n == 0 {
+		return top
+	}
+	h = k.heap
+	i := 0
+	for {
+		first := i*heapArity + 1
+		if first >= n {
+			break
+		}
+		best := first
+		end := first + heapArity
+		if end > n {
+			end = n
+		}
+		for c := first + 1; c < end; c++ {
+			if k.less(h[c], h[best]) {
+				best = c
+			}
+		}
+		if !k.less(h[best], moving) {
+			break
+		}
+		h[i] = h[best]
+		i = best
+	}
+	h[i] = moving
+	return top
+}
+
+// front locates the next event in strict (time, seq) order across the heap
+// and the run queue, releasing cancelled entries along the way. It reports
+// false when no live events remain. The returned entry is left queued.
+func (k *Kernel) front() (idx int32, fromRunq, ok bool) {
+	for {
+		hasR := k.runqHead < len(k.runq)
+		hasH := len(k.heap) > 0
+		switch {
+		case hasR && hasH:
+			if r := k.runq[k.runqHead]; k.less(r, k.heap[0]) {
+				idx, fromRunq = r, true
+			} else {
+				idx, fromRunq = k.heap[0], false
+			}
+		case hasR:
+			idx, fromRunq = k.runq[k.runqHead], true
+		case hasH:
+			idx, fromRunq = k.heap[0], false
+		default:
+			return 0, false, false
+		}
+		if k.slots[idx].kind != evCancelled {
+			return idx, fromRunq, true
+		}
+		k.remove(fromRunq)
+		k.release(idx)
+	}
+}
+
+// remove discards the front entry of the indicated queue.
+func (k *Kernel) remove(fromRunq bool) {
+	if fromRunq {
+		k.runqHead++
+		if k.runqHead == len(k.runq) {
+			k.runq = k.runq[:0]
+			k.runqHead = 0
+		}
+		return
+	}
+	k.heapPop()
+}
+
 // step executes the next scheduled event. It reports false when the schedule
 // is empty.
 func (k *Kernel) step() bool {
-	for len(k.events) > 0 {
-		ev := heap.Pop(&k.events).(*event)
-		if ev.fn == nil { // cancelled
-			continue
-		}
-		if ev.at < k.now {
-			panic("pearl: time went backwards")
-		}
-		k.now = ev.at
-		k.eventCount++
-		ev.fn()
-		return true
+	idx, fromRunq, ok := k.front()
+	if !ok {
+		return false
 	}
-	return false
+	k.remove(fromRunq)
+	s := &k.slots[idx]
+	if s.at < k.now {
+		panic("pearl: time went backwards")
+	}
+	k.now = s.at
+	k.eventCount++
+	k.live--
+	kind, fn, proc := s.kind, s.fn, s.proc
+	// Release before firing so the slot is immediately reusable by whatever
+	// the event schedules.
+	k.release(idx)
+	switch kind {
+	case evFunc:
+		fn()
+	case evHold:
+		k.activate(proc)
+	case evWake:
+		proc.wakePending = false
+		k.activate(proc)
+	}
+	return true
 }
 
 // Run executes events until the schedule is empty or Stop is called. It
@@ -170,27 +352,25 @@ func (k *Kernel) Run() Time {
 func (k *Kernel) RunUntil(t Time) Time {
 	k.stopped = false
 	for !k.stopped {
-		if len(k.events) == 0 {
+		idx, _, ok := k.front()
+		if !ok {
 			break
 		}
-		if next := k.peekTime(); next > t {
+		if k.slots[idx].at > t {
 			k.now = t
 			return k.now
 		}
 		k.step()
 	}
-	if !k.stopped && k.now < t && len(k.events) == 0 {
+	if !k.stopped && k.now < t && k.live == 0 {
 		k.now = t
 	}
 	return k.now
 }
 
-func (k *Kernel) peekTime() Time {
-	return k.events[0].at
-}
-
-// Idle reports whether no events remain scheduled.
-func (k *Kernel) Idle() bool { return len(k.events) == 0 }
+// Idle reports whether no events remain scheduled. Cancelled entries still
+// waiting to be discarded do not count.
+func (k *Kernel) Idle() bool { return k.live == 0 }
 
 // Blocked returns the processes that are alive but have no pending event to
 // resume them: with an idle kernel these are deadlocked (or waiting on

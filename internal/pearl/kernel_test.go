@@ -86,7 +86,7 @@ func TestTimerCancel(t *testing.T) {
 func TestTimerCancelAmongOthers(t *testing.T) {
 	k := NewKernel()
 	var got []int
-	var timers []*Timer
+	var timers []Timer
 	for i := 0; i < 10; i++ {
 		i := i
 		timers = append(timers, k.At(Time(i), func() { got = append(got, i) }))

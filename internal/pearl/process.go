@@ -18,7 +18,7 @@ type Process struct {
 	terminated  bool
 	runnable    bool // currently running or has a pending activation
 	wakePending bool
-	wakeEpoch   uint64 // invalidates stale wake events (see rescheduleFirst)
+	wakeTimer   Timer // handle of the pending wake event, for retirement
 	blockReason string
 
 	// OnPanic, if set, is invoked (in the kernel's goroutine) when the
@@ -66,14 +66,13 @@ func (k *Kernel) SpawnAt(t Time, name string, body func(p *Process)) *Process {
 }
 
 func (p *Process) rescheduleFirst(t Time) *Process {
-	// Cancel the immediate activation and schedule at t. Only valid right
-	// after Spawn, before the kernel loop runs.
+	// Retire the immediate activation scheduled by Spawn and reschedule at t.
+	// Only valid right after Spawn, before the kernel loop runs: the stale
+	// event is cancelled (discarded unfired, never counted), not left dead in
+	// the queue.
+	p.wakeTimer.Cancel()
 	p.wakePending = false
 	p.runnable = false
-	// The immediate event is still in the heap; neutralize it by making the
-	// wakePending check fail is not possible since the event closure calls
-	// activate directly. Instead we rely on wakeEvent checking wakeEpoch.
-	p.wakeEpoch++
 	p.scheduleWakeAt(t)
 	return p
 }
@@ -147,14 +146,9 @@ func (p *Process) scheduleWakeAt(t Time) {
 	}
 	p.wakePending = true
 	p.runnable = true
-	epoch := p.wakeEpoch
-	p.k.At(t, func() {
-		if epoch != p.wakeEpoch {
-			return // stale wake, invalidated by rescheduleFirst
-		}
-		p.wakePending = false
-		p.k.activate(p)
-	})
+	// A typed wake event: no closure, no allocation; the kernel clears
+	// wakePending and activates p when it fires.
+	p.wakeTimer = p.k.schedule(t, evWake, nil, p)
 }
 
 // Hold advances the process's virtual time by d cycles, yielding control to
@@ -164,7 +158,8 @@ func (p *Process) Hold(d Time) {
 	if d < 0 {
 		panic(fmt.Sprintf("pearl: %v Hold(%d): negative duration", p, d))
 	}
-	p.k.After(d, func() { p.k.activate(p) })
+	// A typed hold event: no closure, no allocation.
+	p.k.schedule(p.k.now+d, evHold, nil, p)
 	p.block("hold")
 }
 

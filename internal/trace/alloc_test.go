@@ -1,0 +1,62 @@
+package trace
+
+import (
+	"testing"
+
+	"mermaid/internal/ops"
+)
+
+// Local-operation batching must be allocation-free in steady state: the
+// producer's batch buffers rotate through the recycling channel, so emitting
+// and consuming local operations costs no garbage once the first buffers
+// exist. A regression here multiplies by every instruction of every detailed
+// simulation, so it is pinned.
+
+func TestAllocFreeEmitNext(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under the race detector")
+	}
+	th := newThread(0, 1, 256)
+	o := ops.NewCompute(1)
+	cycle := func() {
+		for i := 0; i < th.batchCap; i++ {
+			th.Emit(o)
+		}
+		for i := 0; i < th.batchCap; i++ {
+			if _, err := th.Next(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// Two warm-up cycles put both rotating buffers into circulation.
+	cycle()
+	cycle()
+	if got := testing.AllocsPerRun(100, cycle); got != 0 {
+		t.Errorf("Emit/Next batch cycle allocates %v times per cycle; want 0", got)
+	}
+}
+
+func TestAllocFreeEmitNextBatch(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under the race detector")
+	}
+	th := newThread(0, 1, 256)
+	o := ops.NewCompute(1)
+	cycle := func() {
+		for i := 0; i < th.batchCap; i++ {
+			th.Emit(o)
+		}
+		b, err := th.NextBatch()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(b) != th.batchCap {
+			t.Fatalf("batch of %d events, want %d", len(b), th.batchCap)
+		}
+	}
+	cycle()
+	cycle()
+	if got := testing.AllocsPerRun(100, cycle); got != 0 {
+		t.Errorf("Emit/NextBatch cycle allocates %v times per cycle; want 0", got)
+	}
+}

@@ -5,13 +5,14 @@
 // paper).
 //
 // A trace-generating application runs as one goroutine per simulated node.
-// Local operations flow freely (buffered) from the generator to the
-// simulator. At every global event — an operation that can influence other
-// processors — the generating thread suspends until the architecture
-// simulator explicitly resumes it, feeding back what actually happened on
-// the target machine (which source's message arrived first, what data it
-// carried). The trace therefore is exactly the one that would be observed if
-// the application executed on the target machine.
+// Local operations flow freely (buffered, and batched — many operations per
+// channel handoff) from the generator to the simulator. At every global
+// event — an operation that can influence other processors — the generating
+// thread suspends until the architecture simulator explicitly resumes it,
+// feeding back what actually happened on the target machine (which source's
+// message arrived first, what data it carried). The trace therefore is
+// exactly the one that would be observed if the application executed on the
+// target machine.
 package trace
 
 import (
@@ -53,10 +54,70 @@ type Source interface {
 	Next() (Event, error)
 }
 
+// BatchSource is implemented by sources that can hand over many operations
+// per pull. A returned batch is non-empty, in execution order, and only
+// valid until the next NextBatch call (implementations may recycle the
+// backing buffer). Consumers that drain sources in a hot loop should go
+// through a Cursor, which uses batch pulls when available.
+type BatchSource interface {
+	Source
+	NextBatch() ([]Event, error)
+}
+
+// Cursor drains a Source batch-at-a-time: one interface call per batch
+// instead of per operation, and for Thread sources one channel operation per
+// batch. A Cursor over a plain (non-batch) Source degrades to per-event
+// Next. The zero Cursor is not usable; create cursors with NewCursor.
+type Cursor struct {
+	src   Source
+	batch BatchSource // nil when src has no batch support
+	buf   []Event
+	pos   int
+}
+
+// NewCursor wraps src for batched consumption.
+func NewCursor(src Source) *Cursor {
+	c := &Cursor{src: src}
+	if bs, ok := src.(BatchSource); ok {
+		c.batch = bs
+	}
+	return c
+}
+
+// Next returns the next event, pulling a fresh batch from the underlying
+// source when the current one is exhausted. It returns io.EOF after the last
+// event.
+func (c *Cursor) Next() (Event, error) {
+	if c.pos < len(c.buf) {
+		ev := c.buf[c.pos]
+		c.pos++
+		return ev, nil
+	}
+	if c.batch == nil {
+		return c.src.Next()
+	}
+	for {
+		b, err := c.batch.NextBatch()
+		if err != nil {
+			return Event{}, err
+		}
+		if len(b) == 0 {
+			continue
+		}
+		c.buf, c.pos = b, 1
+		return b[0], nil
+	}
+}
+
+// sourceBatch is the conversion chunk size for sources that materialise
+// Event batches from a non-Event backing store.
+const sourceBatch = 256
+
 // SliceSource replays a fixed operation slice (trace-driven simulation).
 type SliceSource struct {
 	trace []ops.Op
 	pos   int
+	buf   []Event // reusable batch buffer for NextBatch
 }
 
 // FromOps wraps an operation slice as a Source.
@@ -72,9 +133,32 @@ func (s *SliceSource) Next() (Event, error) {
 	return Event{Op: o}, nil
 }
 
+// NextBatch implements BatchSource: it converts up to sourceBatch operations
+// into a reused Event buffer, valid until the next call.
+func (s *SliceSource) NextBatch() ([]Event, error) {
+	if s.pos >= len(s.trace) {
+		return nil, io.EOF
+	}
+	n := len(s.trace) - s.pos
+	if n > sourceBatch {
+		n = sourceBatch
+	}
+	if cap(s.buf) < n {
+		s.buf = make([]Event, n)
+	}
+	b := s.buf[:n]
+	for i := 0; i < n; i++ {
+		b[i] = Event{Op: s.trace[s.pos+i]}
+	}
+	s.pos += n
+	return b, nil
+}
+
 // ReaderSource replays a binary trace stream.
 type ReaderSource struct {
-	r *ops.Reader
+	r   *ops.Reader
+	buf []Event // reusable batch buffer for NextBatch
+	err error   // deferred error: delivered after the batch read so far
 }
 
 // FromReader wraps a binary trace stream as a Source.
@@ -82,11 +166,45 @@ func FromReader(r io.Reader) *ReaderSource { return &ReaderSource{r: ops.NewRead
 
 // Next implements Source.
 func (s *ReaderSource) Next() (Event, error) {
+	if s.err != nil {
+		err := s.err
+		s.err = nil
+		return Event{}, err
+	}
 	o, err := s.r.Read()
 	if err != nil {
 		return Event{}, err
 	}
 	return Event{Op: o}, nil
+}
+
+// NextBatch implements BatchSource: it decodes up to sourceBatch operations
+// per call into a reused buffer, valid until the next call. A decode error
+// or EOF hit mid-batch is returned on the following call, after the
+// operations read before it.
+func (s *ReaderSource) NextBatch() ([]Event, error) {
+	if s.err != nil {
+		err := s.err
+		s.err = nil
+		return nil, err
+	}
+	if s.buf == nil {
+		s.buf = make([]Event, sourceBatch)
+	}
+	n := 0
+	for n < len(s.buf) {
+		o, err := s.r.Read()
+		if err != nil {
+			if n == 0 {
+				return nil, err
+			}
+			s.err = err
+			break
+		}
+		s.buf[n] = Event{Op: o}
+		n++
+	}
+	return s.buf[:n], nil
 }
 
 // FuncSource adapts a generator function to a Source.
