@@ -30,6 +30,7 @@ import (
 	"mermaid/internal/farm"
 	"mermaid/internal/machine"
 	"mermaid/internal/pearl"
+	"mermaid/internal/probe"
 	"mermaid/internal/stats"
 	"mermaid/internal/stochastic"
 	"mermaid/internal/trace"
@@ -76,6 +77,11 @@ func main() {
 		csv        = flag.Bool("csv", false, "emit experiment tables as CSV")
 		monitor    = flag.Int64("monitor", 0, "sample run-time metrics every N cycles (0 = off)")
 		monitorCSV = flag.String("monitor-csv", "", "write monitor samples to a CSV file")
+
+		timeline       = flag.String("timeline", "", "write a virtual-time timeline (Chrome trace-event JSON, Perfetto-loadable) to this file")
+		timelineSample = flag.Int("timeline-sample", 1, "keep every Nth timeline event (sampling rate)")
+		metricsOut     = flag.String("metrics", "", "write periodic metric-registry samples to this CSV file")
+		metricsEvery   = flag.Int64("metrics-every", 10000, "sample the metrics registry every N cycles (with -metrics)")
 
 		parallel = flag.Int("parallel", runtime.NumCPU(), "max simulations to run concurrently (experiment sweeps and -repeats)")
 		repeats  = flag.Int("repeats", 1, "replications of the run with per-replica derived seeds")
@@ -141,12 +147,20 @@ func main() {
 		if *monitor > 0 {
 			fatal(fmt.Errorf("-monitor samples a single machine; use -repeats 1"))
 		}
+		if *timeline != "" || *metricsOut != "" {
+			fatal(fmt.Errorf("-timeline and -metrics observe a single machine; use -repeats 1"))
+		}
 		if err := runReplicated(os.Stdout, cfg, runName, *repeats, *parallel, runOnce); err != nil {
 			fatal(err)
 		}
 		return
 	}
 
+	var pb *probe.Probe
+	if *timeline != "" || *metricsOut != "" {
+		pb = probe.New(probe.Config{Timeline: *timeline != "", SampleEvery: *timelineSample})
+		cfg.Probe = pb
+	}
 	wb, err := core.New(cfg)
 	if err != nil {
 		fatal(err)
@@ -160,10 +174,27 @@ func main() {
 			fatal(err)
 		}
 	}
+	if *metricsOut != "" {
+		if err := pb.Registry().StartSampler(m.Kernel(), pearl.Time(*metricsEvery)); err != nil {
+			fatal(err)
+		}
+	}
 
 	res, err := runOnce(m)
 	if err != nil {
 		fatal(err)
+	}
+	if *timeline != "" {
+		if err := writeFileWith(*timeline, pb.Timeline().WriteJSON); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "mermaid: wrote %s (%d timeline events)\n", *timeline, pb.Timeline().Events())
+	}
+	if *metricsOut != "" {
+		if err := writeFileWith(*metricsOut, pb.Registry().WriteCSV); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "mermaid: wrote %s\n", *metricsOut)
 	}
 	if err := wb.Report(os.Stdout, res); err != nil {
 		fatal(err)
@@ -405,6 +436,20 @@ func startProfiles(cpuPath, memPath string) (func(), error) {
 			f.Close()
 		}
 	}, nil
+}
+
+// writeFileWith creates path and streams render into it, propagating both
+// render and close errors.
+func writeFileWith(path string, render func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := render(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func fatal(err error) {

@@ -2,12 +2,16 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"errors"
 	"strings"
 	"testing"
 
+	"mermaid/internal/core"
 	"mermaid/internal/experiments"
+	"mermaid/internal/farm"
 	"mermaid/internal/machine"
+	"mermaid/internal/probe"
 	"mermaid/internal/stats"
 	"mermaid/internal/workload"
 )
@@ -72,6 +76,116 @@ func TestRunExperimentsUnknownName(t *testing.T) {
 	err := runExperiments(&out, "no-such-experiment", false, 1)
 	if err == nil || !strings.Contains(err.Error(), "unknown experiment") {
 		t.Fatalf("err = %v, want unknown-experiment error", err)
+	}
+}
+
+// timelineRun builds a two-node machine with a timeline probe, runs a
+// ping-pong workload and returns the exported trace-event JSON.
+func timelineRun() ([]byte, error) {
+	cfg := machine.T805Grid(2, 1)
+	pb := probe.New(probe.Config{Timeline: true})
+	cfg.Probe = pb
+	wb, err := core.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	m, err := wb.Build()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := m.RunProgram(workload.PingPong(4, 256)); err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if err := pb.Timeline().WriteJSON(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// The timeline export is the golden artefact of the observability layer: it
+// must be valid Chrome trace-event JSON with monotonic per-track timestamps
+// and spans from the CPU, cache and network models on every node — and it
+// must come out byte-identical regardless of how many host workers run the
+// simulations around it.
+func TestTimelineGoldenTwoNodePingPong(t *testing.T) {
+	var outputs [][]byte
+	for _, workers := range []int{1, 3} {
+		pool := farm.New(workers)
+		jobs := make([]farm.Job, 3)
+		for i := range jobs {
+			jobs[i] = farm.Job{Name: "timeline", Run: func(*farm.RunContext) (any, error) {
+				return timelineRun()
+			}}
+		}
+		rep := pool.Run(jobs)
+		if err := rep.Errs(); err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range rep.Results {
+			outputs = append(outputs, r.Value.([]byte))
+		}
+	}
+	for i, out := range outputs[1:] {
+		if !bytes.Equal(outputs[0], out) {
+			t.Fatalf("timeline JSON differs between run 0 and run %d (host parallelism leaked into the trace)", i+1)
+		}
+	}
+
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Ts   int64          `json:"ts"`
+			Dur  *int64         `json:"dur"`
+			Pid  int            `json:"pid"`
+			Tid  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(outputs[0], &doc); err != nil {
+		t.Fatalf("timeline is not valid trace-event JSON: %v", err)
+	}
+	trackName := map[[2]int]string{}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "M" && ev.Name == "thread_name" {
+			trackName[[2]int{ev.Pid, ev.Tid}] = ev.Args["name"].(string)
+		}
+	}
+	spansOn := map[string]int{}
+	lastTs := map[[2]int]int64{}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "M" {
+			continue
+		}
+		key := [2]int{ev.Pid, ev.Tid}
+		if ev.Ts < lastTs[key] {
+			t.Fatalf("track %q timestamps not monotonic: %d after %d", trackName[key], ev.Ts, lastTs[key])
+		}
+		lastTs[key] = ev.Ts
+		if ev.Ph == "X" {
+			if ev.Dur == nil {
+				t.Fatalf("span %q on %q lacks dur", ev.Name, trackName[key])
+			}
+			spansOn[trackName[key]]++
+		}
+	}
+	for _, want := range []string{
+		"node0.cpu0.tasks", "node1.cpu0.tasks", // CPU compute/comm spans
+		"node0.cpu0.miss", "node1.cpu0.miss", // cache miss fills
+	} {
+		if spansOn[want] == 0 {
+			t.Errorf("no spans on track %q (have %v)", want, spansOn)
+		}
+	}
+	netSpans := 0
+	for name, n := range spansOn {
+		if strings.HasPrefix(name, "net.link") {
+			netSpans += n
+		}
+	}
+	if netSpans == 0 {
+		t.Errorf("no per-hop packet spans on any net.link track (have %v)", spansOn)
 	}
 }
 

@@ -34,7 +34,7 @@ func main() {
 		}
 	}
 	if *matrix {
-		if err := commMatrix(flag.Args()); err != nil {
+		if err := commMatrix(os.Stdout, flag.Args()); err != nil {
 			fmt.Fprintf(os.Stderr, "mmstat: %v\n", err)
 			os.Exit(1)
 		}
@@ -42,34 +42,20 @@ func main() {
 }
 
 // commMatrix aggregates sends across all traces into a bytes-sent matrix.
-func commMatrix(paths []string) error {
+// Any unreadable trace — including one with a truncated or corrupt trailing
+// record — fails the whole matrix rather than reporting partial counts.
+func commMatrix(w io.Writer, paths []string) error {
 	n := len(paths)
 	m := make([][]uint64, n)
 	for i := range m {
 		m[i] = make([]uint64, n)
 	}
 	for src, path := range paths {
-		f, err := os.Open(path)
-		if err != nil {
+		if err := tallySends(path, m[src], n); err != nil {
 			return err
 		}
-		r := ops.NewReader(f)
-		for {
-			o, err := r.Read()
-			if err == io.EOF {
-				break
-			}
-			if err != nil {
-				f.Close()
-				return fmt.Errorf("%s: %w", path, err)
-			}
-			if (o.Kind == ops.Send || o.Kind == ops.ASend) && int(o.Peer) < n {
-				m[src][o.Peer] += uint64(o.Size)
-			}
-		}
-		f.Close()
 	}
-	fmt.Println("communication matrix (bytes sent, rows = source rank):")
+	fmt.Fprintln(w, "communication matrix (bytes sent, rows = source rank):")
 	header := make([]string, n+1)
 	header[0] = "src\\dst"
 	for j := 0; j < n; j++ {
@@ -84,7 +70,31 @@ func commMatrix(paths []string) error {
 		}
 		tb.Row(row...)
 	}
-	return tb.Render(os.Stdout)
+	return tb.Render(w)
+}
+
+// tallySends accumulates one trace's sent bytes per destination into row.
+// The file is closed on every return path; destinations outside the matrix
+// are ignored (a trace may name more peers than files were given).
+func tallySends(path string, row []uint64, n int) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r := ops.NewReader(f)
+	for {
+		o, err := r.Read()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		if (o.Kind == ops.Send || o.Kind == ops.ASend) && int(o.Peer) < n {
+			row[o.Peer] += uint64(o.Size)
+		}
+	}
 }
 
 type summary struct {

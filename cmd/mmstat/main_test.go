@@ -1,0 +1,77 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mermaid/internal/ops"
+)
+
+// writeTrace encodes the given operations as a binary trace file under dir.
+func writeTrace(t *testing.T, dir, name string, events []ops.Op) string {
+	t.Helper()
+	var buf bytes.Buffer
+	w := ops.NewWriter(&buf)
+	for _, o := range events {
+		if err := w.Write(o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCommMatrixAggregatesSends(t *testing.T) {
+	dir := t.TempDir()
+	p0 := writeTrace(t, dir, "node0.mmt", []ops.Op{
+		ops.NewSend(100, 1, 0),
+		ops.NewSend(28, 1, 1),
+		ops.NewCompute(10),
+		ops.NewSend(64, 7, 0), // peer outside the matrix: ignored
+	})
+	p1 := writeTrace(t, dir, "node1.mmt", []ops.Op{
+		ops.NewSend(256, 0, 0),
+	})
+	var out bytes.Buffer
+	if err := commMatrix(&out, []string{p0, p1}); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "128") {
+		t.Errorf("matrix missing node0->node1 total 128:\n%s", got)
+	}
+	if !strings.Contains(got, "256") {
+		t.Errorf("matrix missing node1->node0 total 256:\n%s", got)
+	}
+}
+
+// A trace whose trailing record is cut short must fail the matrix loudly —
+// partial counts silently skewing a communication analysis are worse than no
+// matrix at all.
+func TestCommMatrixRejectsTruncatedTrace(t *testing.T) {
+	dir := t.TempDir()
+	good := writeTrace(t, dir, "good.mmt", []ops.Op{ops.NewSend(100, 1, 0)})
+	data, err := os.ReadFile(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := filepath.Join(dir, "bad.mmt")
+	if err := os.WriteFile(bad, data[:len(data)-2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := commMatrix(&out, []string{good, bad}); err == nil {
+		t.Fatal("commMatrix accepted a truncated trailing record")
+	} else if !strings.Contains(err.Error(), "bad.mmt") {
+		t.Errorf("error does not name the corrupt file: %v", err)
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"mermaid/internal/pearl"
+	"mermaid/internal/probe"
 	"mermaid/internal/stats"
 )
 
@@ -77,22 +78,43 @@ func (c *Config) Validate() error {
 // distinguished only by how many independent channels back it.
 type Bus struct {
 	cfg   Config
+	k     *pearl.Kernel
 	chans []*pearl.Resource
 
 	transactions stats.Counter
 	bytes        stats.Counter
+
+	// Timeline instrumentation (nil when no probe is attached): one track
+	// per channel, with the start of the in-flight transaction.
+	tl      *probe.Timeline
+	tracks  []probe.Track
+	started []pearl.Time
 }
 
-// New creates an interconnect on kernel k.
-func New(k *pearl.Kernel, name string, cfg Config) *Bus {
+// New creates an interconnect on kernel k. pb may be nil (no
+// instrumentation); with a probe attached the bus registers its traffic
+// counters and emits one "txn" span per transaction and channel.
+func New(k *pearl.Kernel, name string, cfg Config, pb *probe.Probe) *Bus {
 	cfg.sanitize()
 	n := 1
 	if cfg.Kind == KindCrossbar {
 		n = cfg.Banks
 	}
-	b := &Bus{cfg: cfg}
+	b := &Bus{cfg: cfg, k: k}
 	for i := 0; i < n; i++ {
 		b.chans = append(b.chans, k.NewResource(fmt.Sprintf("%s.%d", name, i), 1))
+	}
+	reg := pb.Registry()
+	reg.Counter(name+".transactions", &b.transactions)
+	reg.Counter(name+".bytes", &b.bytes)
+	reg.Gauge(name+".utilization", "", b.Utilization)
+	if tl := pb.Timeline(); tl != nil {
+		b.tl = tl
+		b.tracks = make([]probe.Track, n)
+		b.started = make([]pearl.Time, n)
+		for i := range b.tracks {
+			b.tracks[i] = tl.Track(fmt.Sprintf("%s.%d", name, i))
+		}
 	}
 	return b
 }
@@ -104,13 +126,12 @@ func (b *Bus) Kind() Kind { return b.cfg.Kind }
 // by snoopy coherence protocols).
 func (b *Bus) Broadcast() bool { return len(b.chans) == 1 }
 
-// channel maps an address to its arbitration domain.
-func (b *Bus) channel(addr uint64) *pearl.Resource {
+// channelIndex maps an address to its arbitration domain.
+func (b *Bus) channelIndex(addr uint64) int {
 	if len(b.chans) == 1 {
-		return b.chans[0]
+		return 0
 	}
-	bank := (addr / uint64(b.cfg.InterleaveBytes)) % uint64(len(b.chans))
-	return b.chans[bank]
+	return int((addr / uint64(b.cfg.InterleaveBytes)) % uint64(len(b.chans)))
 }
 
 // TransferTime returns the cycles needed to move size bytes across one
@@ -123,7 +144,13 @@ func (b *Bus) TransferTime(size uint64) pearl.Time {
 // Acquire wins arbitration for the channel serving addr, blocking behind
 // earlier requesters, and charges the arbitration delay.
 func (b *Bus) Acquire(p *pearl.Process, addr uint64) {
-	p.Acquire(b.channel(addr))
+	i := b.channelIndex(addr)
+	p.Acquire(b.chans[i])
+	if b.tl != nil {
+		// The transaction span covers ownership: arbitration delay, any
+		// body (snoop, memory access) and the transfer, until Release.
+		b.started[i] = p.Now()
+	}
 	if b.cfg.ArbitrationDelay > 0 {
 		p.Hold(b.cfg.ArbitrationDelay)
 	}
@@ -140,7 +167,13 @@ func (b *Bus) Transfer(p *pearl.Process, size uint64) {
 }
 
 // Release hands the channel serving addr to the next waiter.
-func (b *Bus) Release(addr uint64) { b.channel(addr).Release() }
+func (b *Bus) Release(addr uint64) {
+	i := b.channelIndex(addr)
+	b.chans[i].Release()
+	if b.tl != nil {
+		b.tl.Span(b.tracks[i], "txn", b.started[i], b.k.Now())
+	}
+}
 
 // Transact performs a full acquire/transfer/release cycle for addr, plus an
 // optional body executed while holding the channel (e.g. a snoop phase or a
@@ -172,8 +205,8 @@ func (b *Bus) Utilization() float64 {
 // Stats reports traffic and contention metrics.
 func (b *Bus) Stats() *stats.Set {
 	s := stats.NewSet(string(b.cfg.Kind))
-	s.PutInt("transactions", int64(b.transactions.Value()), "")
-	s.PutInt("bytes", int64(b.bytes.Value()), "B")
+	s.PutUint("transactions", b.transactions.Value(), "")
+	s.PutUint("bytes", b.bytes.Value(), "B")
 	s.Put("utilization", b.Utilization(), "")
 	var wait float64
 	for _, c := range b.chans {

@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"mermaid/internal/pearl"
+	"mermaid/internal/probe"
 	"mermaid/internal/stats"
 )
 
@@ -364,15 +365,32 @@ func (c *Cache) HitRatio() float64 {
 // StatsSet reports the cache counters as a metric set.
 func (c *Cache) StatsSet() *stats.Set {
 	s := stats.NewSet(c.cfg.Name)
-	s.PutInt("hits", int64(c.S.Hits.Value()), "")
-	s.PutInt("misses", int64(c.S.Misses.Value()), "")
+	s.PutUint("hits", c.S.Hits.Value(), "")
+	s.PutUint("misses", c.S.Misses.Value(), "")
 	s.Put("hit ratio", c.HitRatio(), "")
-	s.PutInt("evictions", int64(c.S.Evictions.Value()), "")
-	s.PutInt("writebacks", int64(c.S.Writebacks.Value()), "")
-	s.PutInt("back invalidations", int64(c.S.BackInvalidates.Value()), "")
-	s.PutInt("snoop invalidations", int64(c.S.SnoopInvalidates.Value()), "")
-	s.PutInt("snoop downgrades", int64(c.S.SnoopDowngrades.Value()), "")
-	s.PutInt("snoop supplies", int64(c.S.SnoopSupplies.Value()), "")
-	s.PutInt("upgrades", int64(c.S.Upgrades.Value()), "")
+	s.PutUint("evictions", c.S.Evictions.Value(), "")
+	s.PutUint("writebacks", c.S.Writebacks.Value(), "")
+	s.PutUint("back invalidations", c.S.BackInvalidates.Value(), "")
+	s.PutUint("snoop invalidations", c.S.SnoopInvalidates.Value(), "")
+	s.PutUint("snoop downgrades", c.S.SnoopDowngrades.Value(), "")
+	s.PutUint("snoop supplies", c.S.SnoopSupplies.Value(), "")
+	s.PutUint("upgrades", c.S.Upgrades.Value(), "")
 	return s
+}
+
+// Register publishes the cache's counters into the metrics registry under
+// its dotted name (e.g. "node0.cpu0.L1.misses"), making them stable,
+// greppable identifiers for the sampler and the registry dump.
+func (c *Cache) Register(reg *probe.Registry) {
+	n := c.cfg.Name
+	reg.Counter(n+".hits", &c.S.Hits)
+	reg.Counter(n+".misses", &c.S.Misses)
+	reg.Gauge(n+".hit-ratio", "", c.HitRatio)
+	reg.Counter(n+".evictions", &c.S.Evictions)
+	reg.Counter(n+".writebacks", &c.S.Writebacks)
+	reg.Counter(n+".back-invalidates", &c.S.BackInvalidates)
+	reg.Counter(n+".snoop-invalidates", &c.S.SnoopInvalidates)
+	reg.Counter(n+".snoop-downgrades", &c.S.SnoopDowngrades)
+	reg.Counter(n+".snoop-supplies", &c.S.SnoopSupplies)
+	reg.Counter(n+".upgrades", &c.S.Upgrades)
 }

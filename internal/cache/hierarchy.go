@@ -6,6 +6,7 @@ import (
 	"mermaid/internal/bus"
 	"mermaid/internal/memory"
 	"mermaid/internal/pearl"
+	"mermaid/internal/probe"
 	"mermaid/internal/stats"
 )
 
@@ -195,19 +196,26 @@ type Hierarchy struct {
 	c2c        stats.Counter
 	dirLookups stats.Counter
 	dirMsgs    stats.Counter
+
+	// Timeline instrumentation (nil when no probe is attached): one
+	// miss-fill track per CPU.
+	tl         *probe.Timeline
+	missTracks []probe.Track
 }
 
 // NewHierarchy builds the memory system on kernel k. The rng seeds random
-// replacement; pass nil for deterministic-only policies.
-func NewHierarchy(k *pearl.Kernel, name string, cfg HierarchyConfig, rng *pearl.RNG) (*Hierarchy, error) {
+// replacement; pass nil for deterministic-only policies. pb may be nil (no
+// instrumentation); with a probe attached, every cache registers its
+// counters under its dotted name and miss fills are recorded as spans.
+func NewHierarchy(k *pearl.Kernel, name string, cfg HierarchyConfig, rng *pearl.RNG, pb *probe.Probe) (*Hierarchy, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	h := &Hierarchy{
 		cfg:   cfg,
 		k:     k,
-		bus:   bus.New(k, name+".bus", cfg.Bus),
-		mem:   memory.New(k, name+".mem", cfg.Memory),
+		bus:   bus.New(k, name+".bus", cfg.Bus, pb),
+		mem:   memory.New(k, name+".mem", cfg.Memory, pb),
 		outer: len(cfg.Private) - 1,
 		dir:   make(map[uint64]*dirEntry),
 	}
@@ -235,6 +243,25 @@ func NewHierarchy(k *pearl.Kernel, name string, cfg HierarchyConfig, rng *pearl.
 	for lvl, cc := range cfg.Shared {
 		cc.Name = fmt.Sprintf("%s.%s", name, levelName(cc.Name, len(cfg.Private)+lvl, false))
 		h.shd = append(h.shd, MustNew(cc, nextRNG()))
+	}
+	reg := pb.Registry()
+	for _, c := range h.Caches() {
+		c.Register(reg)
+	}
+	reg.Counter(name+".coherence.bus-reads", &h.busRd)
+	reg.Counter(name+".coherence.bus-read-x", &h.busRdX)
+	reg.Counter(name+".coherence.upgrades", &h.busUpgr)
+	reg.Counter(name+".coherence.writebacks", &h.busWB)
+	reg.Counter(name+".coherence.writethroughs", &h.wtWrites)
+	reg.Counter(name+".coherence.c2c-supplies", &h.c2c)
+	reg.Counter(name+".coherence.dir-lookups", &h.dirLookups)
+	reg.Counter(name+".coherence.dir-messages", &h.dirMsgs)
+	if tl := pb.Timeline(); tl != nil {
+		h.tl = tl
+		h.missTracks = make([]probe.Track, cfg.CPUs)
+		for cpu := range h.missTracks {
+			h.missTracks[cpu] = tl.Track(fmt.Sprintf("%s.cpu%d.miss", name, cpu))
+		}
 	}
 	if cfg.StoreBuffer > 0 {
 		for cpu := 0; cpu < cfg.CPUs; cpu++ {
@@ -426,8 +453,17 @@ func (pt *Port) accessLine(p *pearl.Process, kind AccessKind, addr, size uint64)
 		return
 	}
 	ola := outerC.LineAddr(addr)
+	if h.tl == nil {
+		st := h.fetchLine(p, pt.cpu, ola, kind == Write)
+		pt.fillAll(p, kind, addr, st)
+		return
+	}
+	// Miss fill: the whole private chain missed, so the time from here to
+	// the fill completing is the CPU-visible miss penalty.
+	start := p.Now()
 	st := h.fetchLine(p, pt.cpu, ola, kind == Write)
 	pt.fillAll(p, kind, addr, st)
+	h.tl.Span(h.missTracks[pt.cpu], "fill", start, p.Now())
 }
 
 // ensureOwnership handles a write-back write hit: obtaining write permission
@@ -563,14 +599,14 @@ func (h *Hierarchy) InvalidateSharedRange(base, size uint64) {
 func (h *Hierarchy) StatsSet() *stats.Set {
 	s := stats.NewSet("memory-hierarchy")
 	coh := s.Sub("coherence")
-	coh.PutInt("bus reads (BusRd)", int64(h.busRd.Value()), "")
-	coh.PutInt("bus read-exclusives (BusRdX)", int64(h.busRdX.Value()), "")
-	coh.PutInt("upgrades (BusUpgr)", int64(h.busUpgr.Value()), "")
-	coh.PutInt("write-backs", int64(h.busWB.Value()), "")
-	coh.PutInt("write-throughs", int64(h.wtWrites.Value()), "")
-	coh.PutInt("cache-to-cache supplies", int64(h.c2c.Value()), "")
-	coh.PutInt("directory lookups", int64(h.dirLookups.Value()), "")
-	coh.PutInt("directory messages", int64(h.dirMsgs.Value()), "")
+	coh.PutUint("bus reads (BusRd)", h.busRd.Value(), "")
+	coh.PutUint("bus read-exclusives (BusRdX)", h.busRdX.Value(), "")
+	coh.PutUint("upgrades (BusUpgr)", h.busUpgr.Value(), "")
+	coh.PutUint("write-backs", h.busWB.Value(), "")
+	coh.PutUint("write-throughs", h.wtWrites.Value(), "")
+	coh.PutUint("cache-to-cache supplies", h.c2c.Value(), "")
+	coh.PutUint("directory lookups", h.dirLookups.Value(), "")
+	coh.PutUint("directory messages", h.dirMsgs.Value(), "")
 	for _, c := range h.Caches() {
 		s.Subsets = append(s.Subsets, c.StatsSet())
 	}

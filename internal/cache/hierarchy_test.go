@@ -48,7 +48,7 @@ func drive(t *testing.T, h *Hierarchy, k *pearl.Kernel, body func(p *pearl.Proce
 
 func mustHierarchy(t *testing.T, k *pearl.Kernel, cfg HierarchyConfig) *Hierarchy {
 	t.Helper()
-	h, err := NewHierarchy(k, "node", cfg, pearl.NewRNG(1))
+	h, err := NewHierarchy(k, "node", cfg, pearl.NewRNG(1), nil)
 	if err != nil {
 		t.Fatal(err)
 	}

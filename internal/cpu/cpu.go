@@ -159,7 +159,7 @@ func (c *CPU) hold(p *pearl.Process, d pearl.Time) {
 // Stats reports instruction counts by category.
 func (c *CPU) Stats() *stats.Set {
 	s := stats.NewSet(fmt.Sprintf("cpu%d", c.id))
-	s.PutInt("instructions", int64(c.instrs), "")
+	s.PutUint("instructions", c.instrs, "")
 	s.PutInt("busy", int64(c.busy), "cyc")
 	var mem, arith, ctl uint64
 	for k := ops.Load; k <= ops.Ret; k++ {
@@ -167,7 +167,7 @@ func (c *CPU) Stats() *stats.Set {
 		if n == 0 {
 			continue
 		}
-		s.PutInt(k.String(), int64(n), "")
+		s.PutUint(k.String(), n, "")
 		switch {
 		case k.IsMemoryAccess():
 			mem += n
@@ -177,9 +177,9 @@ func (c *CPU) Stats() *stats.Set {
 			ctl += n
 		}
 	}
-	s.PutInt("memory ops", int64(mem), "")
-	s.PutInt("arithmetic ops", int64(arith), "")
-	s.PutInt("control ops", int64(ctl), "")
+	s.PutUint("memory ops", mem, "")
+	s.PutUint("arithmetic ops", arith, "")
+	s.PutUint("control ops", ctl, "")
 	if c.busy > 0 {
 		s.Put("ops per cycle", float64(c.instrs)/float64(c.busy), "")
 	}

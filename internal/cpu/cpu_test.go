@@ -18,7 +18,7 @@ func testCPU(t *testing.T) (*pearl.Kernel, *CPU, *cache.Hierarchy) {
 		Private: []cache.Config{{Size: 1024, LineSize: 64, Assoc: 2, HitLatency: 1, Write: cache.WriteBack}},
 		Bus:     bus.Config{Width: 8, ArbitrationDelay: 1},
 		Memory:  memory.Config{ReadLatency: 5, WriteLatency: 5, BytesPerCycle: 8, Ports: 1},
-	}, nil)
+	}, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -151,7 +151,7 @@ func TestZeroCostOpsDoNotAdvanceTime(t *testing.T) {
 		Private: []cache.Config{{Size: 1024, LineSize: 64, Assoc: 2, HitLatency: 0, Write: cache.WriteBack}},
 		Bus:     bus.Config{Width: 8},
 		Memory:  memory.Config{ReadLatency: 0, WriteLatency: 0, BytesPerCycle: 1024, Ports: 1},
-	}, nil)
+	}, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

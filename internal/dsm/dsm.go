@@ -191,10 +191,10 @@ func (l *Layer) homeOf(page uint64) int { return int(page % uint64(l.nodes)) }
 // Stats reports protocol counters.
 func (l *Layer) Stats() *stats.Set {
 	s := stats.NewSet("dsm")
-	s.PutInt("read faults", int64(l.faultsRead.Value()), "")
-	s.PutInt("write faults", int64(l.faultsWrite.Value()), "")
-	s.PutInt("invalidations", int64(l.invals.Value()), "")
-	s.PutInt("page transfers", int64(l.pageMoves.Value()), "")
+	s.PutUint("read faults", l.faultsRead.Value(), "")
+	s.PutUint("write faults", l.faultsWrite.Value(), "")
+	s.PutUint("invalidations", l.invals.Value(), "")
+	s.PutUint("page transfers", l.pageMoves.Value(), "")
 	s.PutInt("fault stall", int64(l.faultCycles), "cyc")
 	return s
 }

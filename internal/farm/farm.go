@@ -241,7 +241,7 @@ func (r *Report) Summary() *stats.Set {
 	s.PutInt("workers", int64(r.Workers), "")
 	s.PutInt("failures", int64(failures), "")
 	s.PutInt("sim cycles", int64(cycles), "cyc")
-	s.PutInt("kernel events", int64(events), "")
+	s.PutUint("kernel events", events, "")
 	s.Put("wall", float64(r.Wall.Microseconds())/1000, "ms")
 	if secs := r.Wall.Seconds(); secs > 0 {
 		s.Put("runs/s", float64(len(r.Results))/secs, "")

@@ -26,6 +26,7 @@ import (
 	"mermaid/internal/network"
 	"mermaid/internal/node"
 	"mermaid/internal/pearl"
+	"mermaid/internal/probe"
 	"mermaid/internal/stats"
 	"mermaid/internal/stochastic"
 	"mermaid/internal/trace"
@@ -61,6 +62,11 @@ type Config struct {
 	DSM *dsm.Config
 	// Seed drives every random policy in the model.
 	Seed uint64
+	// Probe, when non-nil, attaches the observability layer: every component
+	// registers its counters in the probe's metrics registry and, if the
+	// probe carries a timeline, emits span events into it. Not part of the
+	// JSON configuration surface — it is wired programmatically.
+	Probe *probe.Probe `json:"-"`
 }
 
 // Validate checks the configuration's cross-component consistency.
@@ -136,11 +142,17 @@ func New(cfg Config) (*Machine, error) {
 	}
 	k := pearl.NewKernel()
 	m := &Machine{cfg: cfg, k: k}
+	if tl := cfg.Probe.Timeline(); tl != nil {
+		// Kernel block spans (holds, receives, resource queues) for every
+		// process opted in via TrackProcess.
+		k.SetTracer(tl)
+	}
+	cfg.Probe.Registry().Gauge("kernel.events", "", func() float64 { return float64(k.EventCount()) })
 	if cfg.hasNetwork() {
 		if cfg.Network.Topology.Kind == "" {
 			return nil, fmt.Errorf("machine: %d nodes but no topology", cfg.Nodes)
 		}
-		net, err := network.New(k, cfg.Network)
+		net, err := network.New(k, cfg.Network, cfg.Probe)
 		if err != nil {
 			return nil, err
 		}
@@ -157,7 +169,7 @@ func New(cfg Config) (*Machine, error) {
 			if m.net != nil {
 				nif = m.net.Node(i)
 			}
-			nd, err := node.New(k, i, cfg.Node, nif, rng.Derive(uint64(i)))
+			nd, err := node.New(k, i, cfg.Node, nif, rng.Derive(uint64(i)), cfg.Probe)
 			if err != nil {
 				return nil, err
 			}
@@ -360,7 +372,7 @@ func (m *Machine) result(cycles pearl.Time, wall time.Duration) *Result {
 	}
 	root := stats.NewSet("machine " + m.cfg.Name)
 	root.PutInt("cycles", int64(cycles), "cyc")
-	root.PutInt("events", int64(r.Events), "")
+	root.PutUint("events", r.Events, "")
 	for _, nd := range m.nodes {
 		for i := 0; i < nd.CPUs(); i++ {
 			r.Instructions += nd.CPU(i).Instructions()
@@ -376,7 +388,12 @@ func (m *Machine) result(cycles pearl.Time, wall time.Duration) *Result {
 	if m.dsm != nil {
 		root.Subsets = append(root.Subsets, m.dsm.Stats())
 	}
-	root.PutInt("instructions", int64(r.Instructions), "")
+	root.PutUint("instructions", r.Instructions, "")
+	if reg := m.cfg.Probe.Registry(); reg.Len() > 0 {
+		// The flat registry dump: every registered metric under its stable
+		// dotted name (node0.cache.l1d.misses, net.messages, ...).
+		root.Subsets = append(root.Subsets, reg.Dump())
+	}
 	r.Stats = root
 	return r
 }

@@ -6,6 +6,7 @@ package memory
 
 import (
 	"mermaid/internal/pearl"
+	"mermaid/internal/probe"
 	"mermaid/internal/stats"
 )
 
@@ -52,12 +53,27 @@ type DRAM struct {
 	reads  stats.Counter
 	writes stats.Counter
 	bytes  stats.Counter
+
+	tl    *probe.Timeline // nil when no probe is attached
+	track probe.Track
 }
 
-// New creates a DRAM on kernel k.
-func New(k *pearl.Kernel, name string, cfg Config) *DRAM {
+// New creates a DRAM on kernel k. pb may be nil (no instrumentation); with
+// a probe attached the DRAM registers its access counters and emits one
+// "read"/"write" span per access on its track.
+func New(k *pearl.Kernel, name string, cfg Config, pb *probe.Probe) *DRAM {
 	cfg.sanitize()
-	return &DRAM{cfg: cfg, ports: k.NewResource(name+".ports", cfg.Ports)}
+	d := &DRAM{cfg: cfg, ports: k.NewResource(name+".ports", cfg.Ports)}
+	reg := pb.Registry()
+	reg.Counter(name+".reads", &d.reads)
+	reg.Counter(name+".writes", &d.writes)
+	reg.Counter(name+".bytes", &d.bytes)
+	reg.Gauge(name+".utilization", "", d.ports.Utilization)
+	if tl := pb.Timeline(); tl != nil {
+		d.tl = tl
+		d.track = tl.Track(name)
+	}
+	return d
 }
 
 // AccessTime returns the service time for a transfer of size bytes,
@@ -87,7 +103,21 @@ func (d *DRAM) Write(p *pearl.Process, addr, size uint64) {
 }
 
 func (d *DRAM) access(p *pearl.Process, write bool, size uint64) {
-	p.Use(d.ports, d.AccessTime(write, size))
+	t := d.AccessTime(write, size)
+	if d.tl == nil {
+		p.Use(d.ports, t)
+		return
+	}
+	// Inline Use so the span covers port ownership only, not queueing.
+	p.Acquire(d.ports)
+	start := p.Now()
+	p.Hold(t)
+	d.ports.Release()
+	name := "read"
+	if write {
+		name = "write"
+	}
+	d.tl.Span(d.track, name, start, p.Now())
 }
 
 // Reads, Writes and Bytes expose the access counters.
@@ -98,9 +128,9 @@ func (d *DRAM) Bytes() uint64  { return d.bytes.Value() }
 // Stats reports the memory's counters and utilisation.
 func (d *DRAM) Stats() *stats.Set {
 	s := stats.NewSet("memory")
-	s.PutInt("reads", int64(d.reads.Value()), "")
-	s.PutInt("writes", int64(d.writes.Value()), "")
-	s.PutInt("bytes", int64(d.bytes.Value()), "B")
+	s.PutUint("reads", d.reads.Value(), "")
+	s.PutUint("writes", d.writes.Value(), "")
+	s.PutUint("bytes", d.bytes.Value(), "B")
 	s.Put("utilization", d.ports.Utilization(), "")
 	s.Put("avg queue wait", d.ports.AvgWait(), "cyc")
 	return s

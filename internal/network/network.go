@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"mermaid/internal/pearl"
+	"mermaid/internal/probe"
 	"mermaid/internal/router"
 	"mermaid/internal/stats"
 	"mermaid/internal/topology"
@@ -95,10 +96,17 @@ type Network struct {
 	packets    stats.Counter
 	bytes      stats.Counter
 	acks       stats.Counter
+
+	// Timeline instrumentation (nil when no probe is attached): one track
+	// per directed link virtual channel, parallel to links.
+	tl         *probe.Timeline
+	linkTracks []probe.Track
 }
 
-// New builds the network on kernel k.
-func New(k *pearl.Kernel, cfg Config) (*Network, error) {
+// New builds the network on kernel k. pb may be nil (no instrumentation);
+// with a probe attached the network registers its traffic counters and
+// emits one "pkt" span per packet and link hop.
+func New(k *pearl.Kernel, cfg Config, pb *probe.Probe) (*Network, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -117,6 +125,11 @@ func New(k *pearl.Kernel, cfg Config) (*Network, error) {
 	// bandwidth overestimate when both channels of a link are busy at once,
 	// in exchange for the deadlock behaviour being exact.
 	deg := topo.Degree()
+	tl := pb.Timeline()
+	if tl != nil {
+		n.tl = tl
+		n.linkTracks = make([]probe.Track, topo.Nodes()*deg*numVCs)
+	}
 	n.links = make([]*pearl.Resource, topo.Nodes()*deg*numVCs)
 	for node := 0; node < topo.Nodes(); node++ {
 		for port, nb := range topo.Neighbors(node) {
@@ -124,15 +137,28 @@ func New(k *pearl.Kernel, cfg Config) (*Network, error) {
 				continue
 			}
 			for vc := 0; vc < numVCs; vc++ {
-				n.links[(node*deg+port)*numVCs+vc] =
-					k.NewResource(fmt.Sprintf("link.%d.%d.vc%d", node, port, vc), 1)
+				idx := (node*deg+port)*numVCs + vc
+				n.links[idx] = k.NewResource(fmt.Sprintf("link.%d.%d.vc%d", node, port, vc), 1)
+				if tl != nil {
+					n.linkTracks[idx] = tl.Track(fmt.Sprintf("net.link%d.%d.vc%d", node, port, vc))
+				}
 			}
 		}
 	}
 	n.ifs = make([]*NodeIf, topo.Nodes())
+	reg := pb.Registry()
 	for i := range n.ifs {
 		n.ifs[i] = &NodeIf{n: n, id: i, handles: make(map[uint64]*pearl.Future)}
+		reg.Counter(fmt.Sprintf("net.nif%d.sends", i), &n.ifs[i].sends)
+		reg.Counter(fmt.Sprintf("net.nif%d.recvs", i), &n.ifs[i].recvs)
 	}
+	reg.Counter("net.messages", &n.messages)
+	reg.Counter("net.packets", &n.packets)
+	reg.Counter("net.bytes", &n.bytes)
+	reg.Counter("net.acks", &n.acks)
+	reg.Gauge("net.latency.mean", "cyc", n.msgLatency.Mean)
+	reg.Gauge("net.hops.mean", "", n.hopHist.Mean)
+	reg.Gauge("net.link-utilization.avg", "", func() float64 { avg, _ := n.LinkUtilization(); return avg })
 	return n, nil
 }
 
@@ -192,6 +218,8 @@ func (n *Network) forward(p *pearl.Process, msg *Message, pktBytes uint32) {
 	transfer := n.transferTime(pktBytes)
 	perHop := rc.RoutingDelay + n.cfg.Link.PropDelay
 	var held []*pearl.Resource
+	var heldStarts []pearl.Time  // per held channel, acquisition time
+	var heldTracks []probe.Track // per held channel, its timeline track
 	wrapped := make([]bool, n.topo.Dims())
 	hops := 0
 	at := msg.Src
@@ -228,22 +256,37 @@ func (n *Network) forward(p *pearl.Process, msg *Message, pktBytes uint32) {
 				vc = 1
 			}
 		}
-		link := n.link(at, port, vc)
+		li := (at*n.topo.Degree()+port)*numVCs + vc
+		link := n.links[li]
 		p.Acquire(link)
 		hops++
+		var start pearl.Time
+		if n.tl != nil {
+			start = p.Now() // span covers channel ownership, not queueing
+		}
 		switch rc.Switching {
 		case router.StoreAndForward:
 			// The whole packet crosses before the next hop starts.
 			p.Hold(perHop + transfer)
 			link.Release()
+			if n.tl != nil {
+				n.tl.Span(n.linkTracks[li], "pkt", start, p.Now())
+			}
 		case router.VirtualCutThrough:
 			// Header advances; the body streams behind and the channel frees
 			// once it has drained, wherever the header is by then.
 			p.Hold(perHop)
 			n.k.After(transfer, link.Release)
+			if n.tl != nil {
+				n.tl.Span(n.linkTracks[li], "pkt", start, p.Now()+transfer)
+			}
 		case router.Wormhole:
 			// Channels stay with the worm until delivery.
 			held = append(held, link)
+			if n.tl != nil {
+				heldStarts = append(heldStarts, start)
+				heldTracks = append(heldTracks, n.linkTracks[li])
+			}
 			p.Hold(perHop)
 		}
 		at = next
@@ -251,8 +294,11 @@ func (n *Network) forward(p *pearl.Process, msg *Message, pktBytes uint32) {
 	if rc.Switching != router.StoreAndForward {
 		p.Hold(transfer) // body drains at the destination
 	}
-	for _, l := range held {
+	for i, l := range held {
 		l.Release()
+		if n.tl != nil {
+			n.tl.Span(heldTracks[i], "pkt", heldStarts[i], p.Now())
+		}
 	}
 	n.hopHist.Observe(int64(hops))
 	msg.remaining--
@@ -338,10 +384,10 @@ func (n *Network) LinkUtilization() (avg, max float64) {
 // Stats reports the network's aggregate metrics.
 func (n *Network) Stats() *stats.Set {
 	s := stats.NewSet("network " + n.topo.Name())
-	s.PutInt("messages", int64(n.messages.Value()), "")
-	s.PutInt("packets", int64(n.packets.Value()), "")
-	s.PutInt("payload bytes", int64(n.bytes.Value()), "B")
-	s.PutInt("sync acks", int64(n.acks.Value()), "")
+	s.PutUint("messages", n.messages.Value(), "")
+	s.PutUint("packets", n.packets.Value(), "")
+	s.PutUint("payload bytes", n.bytes.Value(), "B")
+	s.PutUint("sync acks", n.acks.Value(), "")
 	s.Put("mean msg latency", n.msgLatency.Mean(), "cyc")
 	s.PutInt("max msg latency", n.msgLatency.Max(), "cyc")
 	s.Put("mean hops", n.hopHist.Mean(), "")

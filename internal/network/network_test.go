@@ -22,7 +22,7 @@ func ringConfig(sw router.Switching) Config {
 
 func mustNet(t *testing.T, k *pearl.Kernel, cfg Config) *Network {
 	t.Helper()
-	n, err := New(k, cfg)
+	n, err := New(k, cfg, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

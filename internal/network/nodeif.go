@@ -161,8 +161,8 @@ func (ni *NodeIf) Outstanding() int { return len(ni.waiters) }
 // Stats reports the interface's counters.
 func (ni *NodeIf) Stats() *stats.Set {
 	s := stats.NewSet(fmt.Sprintf("nif%d", ni.id))
-	s.PutInt("sends", int64(ni.sends.Value()), "")
-	s.PutInt("recvs", int64(ni.recvs.Value()), "")
+	s.PutUint("sends", ni.sends.Value(), "")
+	s.PutUint("recvs", ni.recvs.Value(), "")
 	s.PutInt("send blocked", int64(ni.sendBlock), "cyc")
 	s.PutInt("recv blocked", int64(ni.recvBlock), "cyc")
 	return s

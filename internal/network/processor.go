@@ -106,7 +106,7 @@ func (pr *Processor) ComputeCycles() pearl.Time { return pr.computeCycles }
 // Stats reports the processor's counters.
 func (pr *Processor) Stats() *stats.Set {
 	s := stats.NewSet(fmt.Sprintf("proc%d", pr.ni.id))
-	s.PutInt("compute tasks", int64(pr.taskCount.Value()), "")
+	s.PutUint("compute tasks", pr.taskCount.Value(), "")
 	s.PutInt("compute cycles", int64(pr.computeCycles), "cyc")
 	sub := pr.ni.Stats()
 	s.Subsets = append(s.Subsets, sub)

@@ -17,6 +17,7 @@ import (
 	"mermaid/internal/network"
 	"mermaid/internal/ops"
 	"mermaid/internal/pearl"
+	"mermaid/internal/probe"
 	"mermaid/internal/stats"
 	"mermaid/internal/trace"
 )
@@ -42,6 +43,11 @@ type Node struct {
 	taskCount []uint64
 
 	runners []*runner
+
+	// Timeline instrumentation (nil when no probe is attached): one task
+	// track per CPU carrying compute bursts and communication operations.
+	tl        *probe.Timeline
+	cpuTracks []probe.Track
 }
 
 type runner struct {
@@ -51,9 +57,12 @@ type runner struct {
 }
 
 // New builds a node on kernel k. nif may be nil when the node is not part of
-// a message-passing machine (pure shared-memory simulation, §4.3).
-func New(k *pearl.Kernel, id int, cfg Config, nif *network.NodeIf, rng *pearl.RNG) (*Node, error) {
-	hier, err := cache.NewHierarchy(k, fmt.Sprintf("node%d", id), cfg.Hierarchy, rng)
+// a message-passing machine (pure shared-memory simulation, §4.3). pb may be
+// nil (no instrumentation); with a probe attached the node registers its CPU
+// metrics and emits compute-burst and communication spans per CPU.
+func New(k *pearl.Kernel, id int, cfg Config, nif *network.NodeIf, rng *pearl.RNG, pb *probe.Probe) (*Node, error) {
+	name := fmt.Sprintf("node%d", id)
+	hier, err := cache.NewHierarchy(k, name, cfg.Hierarchy, rng, pb)
 	if err != nil {
 		return nil, err
 	}
@@ -66,8 +75,21 @@ func New(k *pearl.Kernel, id int, cfg Config, nif *network.NodeIf, rng *pearl.RN
 		lastComm:  make([]pearl.Time, cfg.Hierarchy.CPUs),
 		taskCount: make([]uint64, cfg.Hierarchy.CPUs),
 	}
+	reg := pb.Registry()
+	tl := pb.Timeline()
+	if tl != nil {
+		n.tl = tl
+		n.cpuTracks = make([]probe.Track, cfg.Hierarchy.CPUs)
+	}
 	for i := 0; i < cfg.Hierarchy.CPUs; i++ {
-		n.cpus = append(n.cpus, cpu.New(i, cfg.Timing, hier.Port(i)))
+		c := cpu.New(i, cfg.Timing, hier.Port(i))
+		n.cpus = append(n.cpus, c)
+		cpuName := fmt.Sprintf("%s.cpu%d", name, i)
+		reg.Gauge(cpuName+".instructions", "", func() float64 { return float64(c.Instructions()) })
+		reg.Gauge(cpuName+".busy", "cyc", func() float64 { return float64(c.BusyCycles()) })
+		if tl != nil {
+			n.cpuTracks[i] = tl.Track(cpuName + ".tasks")
+		}
 	}
 	return n, nil
 }
@@ -125,7 +147,8 @@ func (n *Node) Run(cpuIdx int, src trace.Source) {
 	// replays) hand over operations many at a time, so the per-operation
 	// cost in this loop is a slice index, not a channel transfer.
 	cur := trace.NewCursor(src)
-	r.proc = n.k.Spawn(fmt.Sprintf("node%d.cpu%d", n.id, cpuIdx), func(p *pearl.Process) {
+	procName := fmt.Sprintf("node%d.cpu%d", n.id, cpuIdx)
+	r.proc = n.k.Spawn(procName, func(p *pearl.Process) {
 		defer func() { r.done = true }()
 		for {
 			ev, err := cur.Next()
@@ -143,6 +166,9 @@ func (n *Node) Run(cpuIdx int, src trace.Source) {
 			}
 		}
 	})
+	// Opt the runner into kernel block-span tracing: time spent blocked in
+	// holds, receives and resource queues shows up on its own track.
+	n.tl.TrackProcess(r.proc, procName)
 }
 
 func (n *Node) exec(p *pearl.Process, c *cpu.CPU, cpuIdx int, ev trace.Event) error {
@@ -173,6 +199,7 @@ func (n *Node) exec(p *pearl.Process, c *cpu.CPU, cpuIdx int, ev trace.Event) er
 	if n.nif == nil {
 		return fmt.Errorf("node %d: %s without a network attached (shared-memory node)", n.id, o.Kind)
 	}
+	commStart := p.Now()
 	resume := func(fb trace.Feedback) {
 		if ev.Resume != nil {
 			ev.Resume <- fb
@@ -197,6 +224,9 @@ func (n *Node) exec(p *pearl.Process, c *cpu.CPU, cpuIdx int, ev trace.Event) er
 	default:
 		return fmt.Errorf("node %d: unsupported operation %s", n.id, o.Kind)
 	}
+	if n.tl != nil {
+		n.tl.Span(n.cpuTracks[cpuIdx], o.Kind.String(), commStart, p.Now())
+	}
 	n.lastComm[cpuIdx] = p.Now()
 	return nil
 }
@@ -207,6 +237,11 @@ func (n *Node) exec(p *pearl.Process, c *cpu.CPU, cpuIdx int, ev trace.Event) er
 func (n *Node) emitTask(p *pearl.Process, cpuIdx int, comm *ops.Op) {
 	elapsed := p.Now() - n.lastComm[cpuIdx]
 	n.taskCount[cpuIdx]++
+	if n.tl != nil && elapsed > 0 {
+		// The compute burst between two communication operations — the same
+		// interval the task-level trace derivation records (Fig. 2).
+		n.tl.Span(n.cpuTracks[cpuIdx], "compute", n.lastComm[cpuIdx], p.Now())
+	}
 	w := n.taskSinks[cpuIdx]
 	if w == nil {
 		return
@@ -253,7 +288,7 @@ func (n *Node) Stats() *stats.Set {
 		instrs += c.Instructions()
 		s.Subsets = append(s.Subsets, c.Stats())
 	}
-	s.PutInt("instructions", int64(instrs), "")
+	s.PutUint("instructions", instrs, "")
 	s.Subsets = append(s.Subsets, n.hier.StatsSet())
 	if n.nif != nil {
 		s.Subsets = append(s.Subsets, n.nif.Stats())

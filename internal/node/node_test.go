@@ -47,7 +47,7 @@ func netConfig() network.Config {
 
 func TestSharedMemoryNodeTwoCPUs(t *testing.T) {
 	k := pearl.NewKernel()
-	n, err := New(k, 0, nodeConfig(2), nil, pearl.NewRNG(1))
+	n, err := New(k, 0, nodeConfig(2), nil, pearl.NewRNG(1), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,7 +73,7 @@ func TestSharedMemoryNodeTwoCPUs(t *testing.T) {
 
 func TestCommWithoutNetworkFails(t *testing.T) {
 	k := pearl.NewKernel()
-	n, err := New(k, 0, nodeConfig(1), nil, nil)
+	n, err := New(k, 0, nodeConfig(1), nil, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,13 +86,13 @@ func TestCommWithoutNetworkFails(t *testing.T) {
 
 func buildTwoNodeMachine(t *testing.T, k *pearl.Kernel) (*network.Network, []*Node) {
 	t.Helper()
-	net, err := network.New(k, netConfig())
+	net, err := network.New(k, netConfig(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	var nodes []*Node
 	for i := 0; i < 2; i++ {
-		n, err := New(k, i, nodeConfig(1), net.Node(i), pearl.NewRNG(uint64(i+1)))
+		n, err := New(k, i, nodeConfig(1), net.Node(i), pearl.NewRNG(uint64(i+1)), nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -236,13 +236,13 @@ func TestExecutionDrivenRecvAnyFeedback(t *testing.T) {
 	k := pearl.NewKernel()
 	cfg := netConfig()
 	cfg.Topology.Nodes = 4
-	net, err := network.New(k, cfg)
+	net, err := network.New(k, cfg, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	var nodes []*Node
 	for i := 0; i < 4; i++ {
-		n, err := New(k, i, nodeConfig(1), net.Node(i), nil)
+		n, err := New(k, i, nodeConfig(1), net.Node(i), nil, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -283,7 +283,7 @@ func TestExecutionDrivenRecvAnyFeedback(t *testing.T) {
 
 func TestNodeStats(t *testing.T) {
 	k := pearl.NewKernel()
-	n, err := New(k, 0, nodeConfig(1), nil, nil)
+	n, err := New(k, 0, nodeConfig(1), nil, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -328,7 +328,7 @@ func TestMixedComputeOpInInstructionTrace(t *testing.T) {
 	// A compute(duration) event inside an instruction-level trace advances
 	// time (mixed-abstraction traces are permitted).
 	k := pearl.NewKernel()
-	n, err := New(k, 0, nodeConfig(1), nil, nil)
+	n, err := New(k, 0, nodeConfig(1), nil, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

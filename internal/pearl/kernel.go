@@ -125,7 +125,23 @@ type Kernel struct {
 
 	eventCount uint64
 	stopped    bool
+
+	// tracer, when non-nil, observes process scheduling for the
+	// instrumentation layer. The hook sits on the process activation path,
+	// not the event loop, so pure-event workloads pay nothing.
+	tracer Tracer
 }
+
+// Tracer observes process scheduling. ProcessSpan is called when a process
+// resumes after blocking: [from, to] is the blocked interval and reason the
+// process's block reason ("hold", "receive x", "acquire y"). Implementations
+// must not re-enter the kernel.
+type Tracer interface {
+	ProcessSpan(p *Process, from, to Time, reason string)
+}
+
+// SetTracer attaches (or, with nil, detaches) a scheduling tracer.
+func (k *Kernel) SetTracer(t Tracer) { k.tracer = t }
 
 // NewKernel returns an empty kernel at virtual time zero.
 func NewKernel() *Kernel {

@@ -20,6 +20,7 @@ type Process struct {
 	wakePending bool
 	wakeTimer   Timer // handle of the pending wake event, for retirement
 	blockReason string
+	blockedAt   Time // when the current block began (valid while blocked)
 
 	// OnPanic, if set, is invoked (in the kernel's goroutine) when the
 	// process body panics. The default is to re-panic with the process name.
@@ -104,6 +105,9 @@ func (k *Kernel) activate(p *Process) {
 	if p.terminated {
 		return
 	}
+	if k.tracer != nil && p.blockReason != "" && k.now > p.blockedAt {
+		k.tracer.ProcessSpan(p, p.blockedAt, k.now, p.blockReason)
+	}
 	prev := k.current
 	k.current = p
 	p.runnable = true
@@ -128,6 +132,7 @@ func (p *Process) block(reason string) {
 	}
 	p.runnable = false
 	p.blockReason = reason
+	p.blockedAt = p.k.now
 	p.yield <- struct{}{}
 	<-p.resume
 	p.runnable = true

@@ -1,0 +1,70 @@
+package probe
+
+import (
+	"testing"
+
+	"mermaid/internal/pearl"
+)
+
+// The disabled probe path must be free: components compiled with probe hooks
+// but run without a probe (nil *Timeline, nil *Registry) may not allocate,
+// and a kernel with a tracer installed may not allocate for processes that
+// never opted into tracking. These gates keep the observability layer from
+// taxing production simulations.
+
+func TestAllocFreeNilTimeline(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under the race detector")
+	}
+	var tl *Timeline
+	tr := tl.Track("x")
+	if got := testing.AllocsPerRun(200, func() {
+		tl.Span(tr, "s", 0, 10)
+		tl.Instant(tr, "i", 5)
+		tl.ProcessSpan(nil, 0, 1, "hold")
+	}); got != 0 {
+		t.Errorf("nil timeline allocates %v times per op; want 0", got)
+	}
+}
+
+func TestAllocFreeNilRegistry(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under the race detector")
+	}
+	var r *Registry
+	if got := testing.AllocsPerRun(200, func() {
+		r.Sample(10)
+	}); got != 0 {
+		t.Errorf("nil registry allocates %v times per op; want 0", got)
+	}
+}
+
+func TestAllocFreeTracerUnattachedProcess(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under the race detector")
+	}
+	// Probe enabled but no process registered: the kernel's tracer hook fires
+	// on every resume, the timeline looks the process up and drops the span.
+	// That path must not allocate.
+	k := pearl.NewKernel()
+	p := New(Config{Timeline: true})
+	tl := p.Timeline()
+	k.SetTracer(tl)
+	k.Spawn("untracked", func(pr *pearl.Process) {
+		for i := 0; i < 1<<20; i++ {
+			pr.Hold(1)
+		}
+	})
+	// Warm up, then measure single-cycle advances, each resuming the
+	// untracked process once through the tracer hook.
+	at := k.RunUntil(64)
+	if got := testing.AllocsPerRun(200, func() {
+		at++
+		k.RunUntil(at)
+	}); got != 0 {
+		t.Errorf("tracer hook allocates %v times per resume of an untracked process; want 0", got)
+	}
+	if tl.Events() != 0 {
+		t.Errorf("untracked process produced %d events", tl.Events())
+	}
+}

@@ -1,0 +1,243 @@
+package probe
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"mermaid/internal/pearl"
+)
+
+// Track identifies one horizontal lane of the timeline (one component: a
+// CPU, a bus channel, a link virtual channel). Tracks are created once at
+// construction and referenced by value on the hot path.
+type Track int32
+
+// Timeline records span and instant events in virtual time for the
+// Chrome trace-event export. All methods are safe on a nil receiver, so
+// components can hold a possibly-nil *Timeline and call it unconditionally
+// only where a nil check would hurt readability; on hot paths they should
+// check for nil themselves to skip argument evaluation.
+//
+// The recorder is deterministic: given the same simulation, the same events
+// are recorded in the same order, so the JSON export is byte-identical
+// across runs and host worker counts.
+type Timeline struct {
+	sampleEvery uint64
+	n           uint64 // global event counter driving sampling
+
+	tracks     []string
+	trackIndex map[string]Track
+
+	// procTracks holds the kernel-span opt-in set: only processes registered
+	// with TrackProcess get their block spans recorded (packet and drain
+	// helper processes would otherwise explode the track count).
+	procTracks map[*pearl.Process]Track
+
+	events []event
+}
+
+type event struct {
+	name  string
+	ts    int64
+	dur   int64
+	track Track
+	ph    byte // 'X' complete span, 'i' instant
+}
+
+func newTimeline(sampleEvery uint64) *Timeline {
+	return &Timeline{
+		sampleEvery: sampleEvery,
+		trackIndex:  make(map[string]Track),
+		procTracks:  make(map[*pearl.Process]Track),
+	}
+}
+
+// Track returns (creating on first use) the track with the given dotted
+// component name, e.g. "node0.bus.0" or "net.link3.1.vc0". The first
+// dot-separated segment groups tracks into one Perfetto process row.
+func (t *Timeline) Track(name string) Track {
+	if t == nil {
+		return 0
+	}
+	if tr, ok := t.trackIndex[name]; ok {
+		return tr
+	}
+	tr := Track(len(t.tracks))
+	t.tracks = append(t.tracks, name)
+	t.trackIndex[name] = tr
+	return tr
+}
+
+// TrackProcess opts the given simulation process into kernel block-span
+// recording on the named track: every time the process resumes, the span it
+// spent blocked (hold, receive, resource acquisition) is emitted.
+func (t *Timeline) TrackProcess(p *pearl.Process, name string) {
+	if t == nil || p == nil {
+		return
+	}
+	t.procTracks[p] = t.Track(name)
+}
+
+// sampled advances the global event counter and reports whether this event
+// is kept under the configured sampling rate.
+func (t *Timeline) sampled() bool {
+	t.n++
+	return t.sampleEvery <= 1 || t.n%t.sampleEvery == 0
+}
+
+// Span records a complete event covering [from, to] on the track.
+func (t *Timeline) Span(tr Track, name string, from, to pearl.Time) {
+	if t == nil || !t.sampled() {
+		return
+	}
+	t.events = append(t.events, event{name: name, ts: int64(from), dur: int64(to - from), track: tr, ph: 'X'})
+}
+
+// Instant records a point event at virtual time at.
+func (t *Timeline) Instant(tr Track, name string, at pearl.Time) {
+	if t == nil || !t.sampled() {
+		return
+	}
+	t.events = append(t.events, event{name: name, ts: int64(at), track: tr, ph: 'i'})
+}
+
+// ProcessSpan implements pearl.Tracer: the kernel calls it when a tracked
+// process resumes after blocking, with the reason it was blocked. Processes
+// not registered with TrackProcess are ignored.
+func (t *Timeline) ProcessSpan(p *pearl.Process, from, to pearl.Time, reason string) {
+	if t == nil {
+		return
+	}
+	tr, ok := t.procTracks[p]
+	if !ok {
+		return
+	}
+	t.Span(tr, reason, from, to)
+}
+
+// Events returns how many events were recorded (after sampling).
+func (t *Timeline) Events() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.events)
+}
+
+// jsonEvent is one entry of the trace-event array. Dur is a pointer so
+// instants omit it while zero-length spans keep an explicit "dur":0.
+type jsonEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   int64          `json:"ts"`
+	Dur  *int64         `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// WriteJSON exports the timeline in the Chrome trace-event format
+// (https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU):
+// a {"traceEvents": [...]} document of metadata, span ('X') and instant
+// ('i') events. Track names map to (pid, tid) pairs — the first dot segment
+// of the track name is the process group — and events are ordered by
+// timestamp, so per-track timestamps are monotonic. Virtual cycles are
+// reported as microseconds, which Perfetto displays unscaled.
+func (t *Timeline) WriteJSON(w io.Writer) error {
+	if t == nil {
+		_, err := io.WriteString(w, `{"traceEvents":[]}`)
+		return err
+	}
+	// Assign pids by group (first dot segment) and tids within the group, in
+	// track-creation order — deterministic, no map iteration.
+	groupPid := make(map[string]int)
+	var groups []string
+	pids := make([]int, len(t.tracks))
+	tids := make([]int, len(t.tracks))
+	nextTid := make(map[string]int)
+	for i, name := range t.tracks {
+		group := name
+		if dot := strings.IndexByte(name, '.'); dot > 0 {
+			group = name[:dot]
+		}
+		pid, ok := groupPid[group]
+		if !ok {
+			pid = len(groups) + 1
+			groupPid[group] = pid
+			groups = append(groups, group)
+		}
+		pids[i] = pid
+		tids[i] = nextTid[group] + 1
+		nextTid[group] = tids[i]
+	}
+	// Stable sort by timestamp: per-(pid,tid) timestamps come out monotonic
+	// and equal-time events keep their deterministic recording order.
+	order := make([]int, len(t.events))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return t.events[order[a]].ts < t.events[order[b]].ts
+	})
+
+	bw := &errWriter{w: w}
+	bw.writeString(`{"displayTimeUnit":"ns","traceEvents":[`)
+	first := true
+	emit := func(ev jsonEvent) {
+		data, err := json.Marshal(ev)
+		if err != nil {
+			bw.err = err
+			return
+		}
+		if !first {
+			bw.writeString(",\n")
+		}
+		first = false
+		bw.write(data)
+	}
+	for i, g := range groups {
+		emit(jsonEvent{Name: "process_name", Ph: "M", Pid: i + 1, Args: map[string]any{"name": g}})
+	}
+	for i, name := range t.tracks {
+		emit(jsonEvent{Name: "thread_name", Ph: "M", Pid: pids[i], Tid: tids[i], Args: map[string]any{"name": name}})
+	}
+	for _, i := range order {
+		ev := &t.events[i]
+		je := jsonEvent{Name: ev.name, Ts: ev.ts, Pid: pids[ev.track], Tid: tids[ev.track]}
+		switch ev.ph {
+		case 'X':
+			je.Ph = "X"
+			dur := ev.dur
+			je.Dur = &dur
+		case 'i':
+			je.Ph = "i"
+			je.S = "t" // thread-scoped instant
+		default:
+			bw.err = fmt.Errorf("probe: unknown event phase %q", ev.ph)
+		}
+		emit(je)
+	}
+	bw.writeString("]}\n")
+	return bw.err
+}
+
+// errWriter folds write errors so the export loop stays linear.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) write(p []byte) {
+	if e.err == nil {
+		_, e.err = e.w.Write(p)
+	}
+}
+
+func (e *errWriter) writeString(s string) {
+	if e.err == nil {
+		_, e.err = io.WriteString(e.w, s)
+	}
+}

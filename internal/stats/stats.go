@@ -106,8 +106,10 @@ func (h *Histogram) Mean() float64 {
 }
 
 // Percentile returns an upper-bound estimate of the p-quantile (p in [0,1])
-// at bucket resolution: the upper edge of the bucket containing it, clamped
-// to the observed max.
+// at bucket resolution: the upper edge of the bucket containing it. Every
+// return path clamps to the observed [min, max], so an estimate can never
+// fall outside the sample range (the first non-empty bucket's upper edge may
+// lie below min when min sits high inside its bucket).
 func (h *Histogram) Percentile(p float64) int64 {
 	if h.count == 0 {
 		return 0
@@ -127,23 +129,25 @@ func (h *Histogram) Percentile(p float64) int64 {
 		cum += n
 		if cum >= target {
 			var hi int64
-			if i == 0 {
-				hi = 0
-			} else {
-				hi = int64(1) << uint(i-1)
+			if i > 0 {
 				// upper edge of [2^(i-1), 2^i): report 2^i - 1
-				hi = hi*2 - 1
+				hi = int64(1)<<uint(i-1)*2 - 1
 			}
-			if hi > h.max {
-				hi = h.max
-			}
-			if hi < h.min {
-				hi = h.min
-			}
-			return hi
+			return h.clamp(hi)
 		}
 	}
-	return h.max
+	return h.clamp(h.max)
+}
+
+// clamp bounds a bucket-resolution estimate to the observed sample range.
+func (h *Histogram) clamp(v int64) int64 {
+	if v > h.max {
+		return h.max
+	}
+	if v < h.min {
+		return h.min
+	}
+	return v
 }
 
 // Buckets returns the non-empty buckets as (lowEdge, highEdge, count) rows,
@@ -235,6 +239,13 @@ func (s *Set) Put(name string, value float64, unit string) {
 
 // PutInt appends an integer-valued metric.
 func (s *Set) PutInt(name string, value int64, unit string) {
+	s.Put(name, float64(value), unit)
+}
+
+// PutUint appends an unsigned-integer metric. Counters are uint64; routing
+// them through PutInt would wrap values above 2^63 to negative numbers, so
+// counter-valued metrics must use this instead.
+func (s *Set) PutUint(name string, value uint64, unit string) {
 	s.Put(name, float64(value), unit)
 }
 

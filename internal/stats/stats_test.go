@@ -97,6 +97,12 @@ func TestHistogramProperties(t *testing.T) {
 			if q < prev {
 				return false
 			}
+			// Bucket-resolution estimates must stay inside the sample
+			// range, including when min sits above the upper edge of the
+			// first non-empty bucket.
+			if q < h.Min() || q > h.Max() {
+				return false
+			}
 			prev = q
 		}
 		return true

@@ -255,7 +255,7 @@ func TestSyncPatternsRunToCompletion(t *testing.T) {
 					Router:   router.Config{Switching: router.StoreAndForward, RoutingDelay: 1, MaxPacket: 1024},
 					Link:     network.LinkConfig{BytesPerCycle: 4, PropDelay: 1},
 					AckBytes: 4,
-				})
+				}, nil)
 				if err != nil {
 					t.Fatal(err)
 				}
