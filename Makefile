@@ -1,13 +1,22 @@
 # Convenience targets for the Mermaid workbench reproduction.
 
-.PHONY: all build vet test bench experiments examples cover check fmt
+.PHONY: all build vet test bench experiments examples cover check fmt apicheck api
 
 all: build vet test
 
-# Everything CI runs: formatting, vet, build, and the full test suite under
-# the race detector.
-check: fmt vet build
+# Everything CI runs: formatting, vet, build, the full test suite under
+# the race detector, and the exported-API guard.
+check: fmt vet build apicheck
 	go test -race ./...
+
+# Fail when the exported API surface of internal/... drifts from the
+# checked-in golden. After an intentional API change, regenerate with
+# `make api` and commit API.txt alongside the change.
+apicheck:
+	go run ./cmd/apidiff
+
+api:
+	go run ./cmd/apidiff -write
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \

@@ -1,0 +1,294 @@
+// Command apidiff guards the workbench's exported API surface. It parses
+// every package under internal/ (go/parser only — no toolchain invocation,
+// no dependencies), renders each exported declaration as one normalized
+// line, and compares the sorted result against the checked-in golden
+// API.txt (the default mode; CI runs it), so an unintentional signature
+// change fails the build with a readable diff. An intentional change is
+// committed by regenerating the golden with `-write`.
+//
+// The surface covers exported functions, methods on exported receivers,
+// type definitions (struct fields and interface methods filtered to the
+// exported ones), constants and variables. Unexported details — field
+// renames, method bodies, doc comments — never appear, so refactors that
+// keep the API stable keep the golden byte-identical.
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	write := flag.Bool("write", false, "regenerate the golden file instead of checking against it")
+	golden := flag.String("golden", "API.txt", "golden API surface file")
+	root := flag.String("root", ".", "module root to scan")
+	flag.Parse()
+
+	surface, err := scan(*root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "apidiff:", err)
+		os.Exit(2)
+	}
+	if *write {
+		if err := os.WriteFile(*golden, []byte(surface), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "apidiff:", err)
+			os.Exit(2)
+		}
+		return
+	}
+	want, err := os.ReadFile(*golden)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "apidiff: reading golden: %v (run `go run ./cmd/apidiff -write` to create it)\n", err)
+		os.Exit(2)
+	}
+	if diff := diffLines(string(want), surface); diff != "" {
+		fmt.Fprintf(os.Stderr, "apidiff: exported API differs from %s:\n%s", *golden, diff)
+		fmt.Fprintln(os.Stderr, "If the change is intentional, regenerate with `go run ./cmd/apidiff -write`.")
+		os.Exit(1)
+	}
+}
+
+// scan renders the exported API of every package under <root>/internal as a
+// sorted newline-terminated string.
+func scan(root string) (string, error) {
+	var lines []string
+	base := filepath.Join(root, "internal")
+	err := filepath.WalkDir(base, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if d.Name() == "testdata" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		rel, err := filepath.Rel(root, filepath.Dir(path))
+		if err != nil {
+			return err
+		}
+		pkg := filepath.ToSlash(rel)
+		decls, err := fileAPI(path)
+		if err != nil {
+			return err
+		}
+		for _, d := range decls {
+			lines = append(lines, pkg+": "+d)
+		}
+		return nil
+	})
+	if err != nil {
+		return "", err
+	}
+	sort.Strings(lines)
+	// Files in one package can redeclare nothing, but the same line may
+	// legitimately not repeat; dedup keeps the golden stable regardless of
+	// how declarations are split across files.
+	lines = dedup(lines)
+	return strings.Join(lines, "\n") + "\n", nil
+}
+
+func dedup(lines []string) []string {
+	out := lines[:0]
+	var prev string
+	for i, l := range lines {
+		if i == 0 || l != prev {
+			out = append(out, l)
+		}
+		prev = l
+	}
+	return out
+}
+
+// fileAPI renders every exported declaration of one source file.
+func fileAPI(path string) ([]string, error) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, path, nil, parser.SkipObjectResolution)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, decl := range f.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			if line, ok := funcLine(fset, d); ok {
+				out = append(out, line)
+			}
+		case *ast.GenDecl:
+			out = append(out, genLines(fset, d)...)
+		}
+	}
+	return out, nil
+}
+
+// funcLine renders an exported function or an exported method on an
+// exported receiver type.
+func funcLine(fset *token.FileSet, d *ast.FuncDecl) (string, bool) {
+	if !d.Name.IsExported() {
+		return "", false
+	}
+	if d.Recv != nil && !ast.IsExported(receiverTypeName(d.Recv)) {
+		return "", false
+	}
+	clean := *d
+	clean.Doc = nil
+	clean.Body = nil
+	return render(fset, &clean), true
+}
+
+// receiverTypeName unwraps a method receiver to its base type name.
+func receiverTypeName(recv *ast.FieldList) string {
+	if len(recv.List) == 0 {
+		return ""
+	}
+	t := recv.List[0].Type
+	for {
+		switch v := t.(type) {
+		case *ast.StarExpr:
+			t = v.X
+		case *ast.IndexExpr:
+			t = v.X
+		case *ast.IndexListExpr:
+			t = v.X
+		case *ast.Ident:
+			return v.Name
+		default:
+			return ""
+		}
+	}
+}
+
+// genLines renders the exported parts of a const/var/type declaration
+// group, one line per exported name.
+func genLines(fset *token.FileSet, d *ast.GenDecl) []string {
+	var out []string
+	for _, spec := range d.Specs {
+		switch s := spec.(type) {
+		case *ast.TypeSpec:
+			if !s.Name.IsExported() {
+				continue
+			}
+			clean := *s
+			clean.Doc = nil
+			clean.Comment = nil
+			clean.Type = exportedType(s.Type)
+			out = append(out, render(fset, &ast.GenDecl{Tok: token.TYPE, Specs: []ast.Spec{&clean}}))
+		case *ast.ValueSpec:
+			for i, name := range s.Names {
+				if !name.IsExported() {
+					continue
+				}
+				line := d.Tok.String() + " " + name.Name
+				if s.Type != nil {
+					line += " " + render(fset, s.Type)
+				}
+				if i < len(s.Values) {
+					line += " = " + render(fset, s.Values[i])
+				}
+				out = append(out, line)
+			}
+		}
+	}
+	return out
+}
+
+// exportedType strips unexported members from struct and interface types so
+// internal reshuffles never show up as API changes.
+func exportedType(t ast.Expr) ast.Expr {
+	switch v := t.(type) {
+	case *ast.StructType:
+		clean := *v
+		clean.Fields = exportedFields(v.Fields, false)
+		return &clean
+	case *ast.InterfaceType:
+		clean := *v
+		clean.Methods = exportedFields(v.Methods, true)
+		return &clean
+	}
+	return t
+}
+
+func exportedFields(fl *ast.FieldList, embedExported bool) *ast.FieldList {
+	if fl == nil {
+		return nil
+	}
+	out := &ast.FieldList{}
+	for _, f := range fl.List {
+		if len(f.Names) == 0 {
+			// Embedded field or interface embedding: part of the API when
+			// the embedded name is exported.
+			if name := embeddedName(f.Type); name == "" || ast.IsExported(name) || embedExported {
+				out.List = append(out.List, &ast.Field{Type: f.Type})
+			}
+			continue
+		}
+		var names []*ast.Ident
+		for _, n := range f.Names {
+			if n.IsExported() {
+				names = append(names, n)
+			}
+		}
+		if len(names) > 0 {
+			out.List = append(out.List, &ast.Field{Names: names, Type: f.Type, Tag: f.Tag})
+		}
+	}
+	return out
+}
+
+func embeddedName(t ast.Expr) string {
+	switch v := t.(type) {
+	case *ast.StarExpr:
+		return embeddedName(v.X)
+	case *ast.SelectorExpr:
+		return v.Sel.Name
+	case *ast.Ident:
+		return v.Name
+	}
+	return ""
+}
+
+// render prints a node on a single whitespace-normalized line.
+func render(fset *token.FileSet, node any) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, node); err != nil {
+		return fmt.Sprintf("<unprintable: %v>", err)
+	}
+	return strings.Join(strings.Fields(buf.String()), " ")
+}
+
+// diffLines reports, line-set wise, what check-time surface gained and lost
+// relative to the golden. Both inputs are sorted, so a two-pointer sweep
+// yields a stable, minimal listing.
+func diffLines(want, got string) string {
+	w := strings.Split(strings.TrimSuffix(want, "\n"), "\n")
+	g := strings.Split(strings.TrimSuffix(got, "\n"), "\n")
+	var buf strings.Builder
+	i, j := 0, 0
+	for i < len(w) || j < len(g) {
+		switch {
+		case j >= len(g) || (i < len(w) && w[i] < g[j]):
+			fmt.Fprintf(&buf, "  - %s\n", w[i])
+			i++
+		case i >= len(w) || g[j] < w[i]:
+			fmt.Fprintf(&buf, "  + %s\n", g[j])
+			j++
+		default:
+			i++
+			j++
+		}
+	}
+	return buf.String()
+}

@@ -28,6 +28,7 @@ import (
 	"mermaid/internal/core"
 	"mermaid/internal/experiments"
 	"mermaid/internal/farm"
+	"mermaid/internal/fault"
 	"mermaid/internal/machine"
 	"mermaid/internal/pearl"
 	"mermaid/internal/probe"
@@ -63,6 +64,8 @@ func main() {
 		preset     = flag.String("preset", "", "machine preset: "+strings.Join(presetNames(), ", "))
 		configPath = flag.String("config", "", "machine configuration JSON file")
 		dumpConfig = flag.Bool("dump-config", false, "print the machine configuration as JSON and exit")
+
+		faultsPath = flag.String("faults", "", "fault schedule JSON file (link/node down windows, packet noise, retransmission parameters)")
 
 		app      = flag.String("app", "", "instrumented application: pingpong, jacobi, jacobi-dsm, matmul, allreduce, transpose, butterfly, shared")
 		rounds   = flag.Int("rounds", 10, "pingpong rounds")
@@ -108,6 +111,17 @@ func main() {
 	cfg, err := resolveConfig(*preset, *configPath)
 	if err != nil {
 		fatal(err)
+	}
+	if *faultsPath != "" {
+		data, err := os.ReadFile(*faultsPath)
+		if err != nil {
+			fatal(err)
+		}
+		sched, err := fault.ParseSchedule(data)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Faults = sched
 	}
 	if *dumpConfig {
 		data, err := json.MarshalIndent(cfg, "", "  ")
@@ -157,11 +171,12 @@ func main() {
 	}
 
 	var pb *probe.Probe
+	var opts []core.Option
 	if *timeline != "" || *metricsOut != "" {
 		pb = probe.New(probe.Config{Timeline: *timeline != "", SampleEvery: *timelineSample})
-		cfg.Probe = pb
+		opts = append(opts, core.WithProbe(pb))
 	}
-	wb, err := core.New(cfg)
+	wb, err := core.New(cfg, opts...)
 	if err != nil {
 		fatal(err)
 	}

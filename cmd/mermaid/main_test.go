@@ -84,8 +84,7 @@ func TestRunExperimentsUnknownName(t *testing.T) {
 func timelineRun() ([]byte, error) {
 	cfg := machine.T805Grid(2, 1)
 	pb := probe.New(probe.Config{Timeline: true})
-	cfg.Probe = pb
-	wb, err := core.New(cfg)
+	wb, err := core.New(cfg, core.WithProbe(pb))
 	if err != nil {
 		return nil, err
 	}

@@ -15,12 +15,13 @@ import (
 
 	"mermaid/internal/cache"
 	"mermaid/internal/machine"
+	"mermaid/internal/sim"
 	"mermaid/internal/stats"
 	"mermaid/internal/stochastic"
 )
 
 func run(cfg machine.Config, desc stochastic.Desc) (cycles float64, hit float64) {
-	m, err := machine.New(cfg)
+	m, err := machine.Build(sim.NewEnv(cfg.Seed, nil), cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -73,7 +74,7 @@ func main() {
 		cfg.Node.Hierarchy.Private[0].Size = 16 << 10
 		cfg.Node.Hierarchy.Private[0].Write = w
 		cfg.Node.Hierarchy.Private[1].Write = w
-		m, err := machine.New(cfg)
+		m, err := machine.Build(sim.NewEnv(cfg.Seed, nil), cfg)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -13,6 +13,7 @@ import (
 	"log"
 
 	"mermaid/internal/machine"
+	"mermaid/internal/sim"
 	"mermaid/internal/stats"
 	"mermaid/internal/workload"
 )
@@ -21,7 +22,8 @@ func main() {
 	const nodes, cells, iters = 4, 4096, 5 // 32 KiB grid: 8 pages of 4 KiB
 
 	// Explicit message passing.
-	mMsg, err := machine.New(machine.HybridCluster(2, 2, 1))
+	cfgMsg := machine.HybridCluster(2, 2, 1)
+	mMsg, err := machine.Build(sim.NewEnv(cfgMsg.Seed, nil), cfgMsg)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -43,7 +45,7 @@ func main() {
 	for _, pageKiB := range []uint64{4, 1} {
 		cfg := machine.DSMCluster(2, 2)
 		cfg.DSM.PageSize = pageKiB << 10
-		m, err := machine.New(cfg)
+		m, err := machine.Build(sim.NewEnv(cfg.Seed, nil), cfg)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -14,6 +14,7 @@ import (
 
 	"mermaid/internal/machine"
 	"mermaid/internal/router"
+	"mermaid/internal/sim"
 	"mermaid/internal/stats"
 	"mermaid/internal/stochastic"
 	"mermaid/internal/topology"
@@ -46,7 +47,8 @@ func main() {
 				log.Fatal(err)
 			}
 			for _, sw := range switchings {
-				m, err := machine.New(machine.GenericTaskMachine(tc, nodes, sw))
+				cfg := machine.GenericTaskMachine(tc, nodes, sw)
+				m, err := machine.Build(sim.NewEnv(cfg.Seed, nil), cfg)
 				if err != nil {
 					log.Fatal(err)
 				}

@@ -7,6 +7,7 @@ import (
 	"mermaid/internal/memory"
 	"mermaid/internal/pearl"
 	"mermaid/internal/probe"
+	"mermaid/internal/sim"
 	"mermaid/internal/stats"
 )
 
@@ -203,13 +204,18 @@ type Hierarchy struct {
 	missTracks []probe.Track
 }
 
-// NewHierarchy builds the memory system on kernel k. The rng seeds random
-// replacement; pass nil for deterministic-only policies. pb may be nil (no
-// instrumentation); with a probe attached, every cache registers its
-// counters under its dotted name and miss fills are recorded as spans.
-func NewHierarchy(k *pearl.Kernel, name string, cfg HierarchyConfig, rng *pearl.RNG, pb *probe.Probe) (*Hierarchy, error) {
+// NewHierarchy builds the memory system in the given environment. env.RNG
+// seeds random replacement; pass a nil stream for deterministic-only
+// policies. env.Probe may be nil (no instrumentation); with a probe
+// attached, every cache registers its counters under its dotted name and
+// miss fills are recorded as spans.
+func NewHierarchy(env sim.Env, name string, cfg HierarchyConfig) (*Hierarchy, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
+	}
+	k, rng, pb := env.Kernel, env.RNG, env.Probe
+	if k == nil {
+		return nil, fmt.Errorf("cache: nil kernel in environment")
 	}
 	h := &Hierarchy{
 		cfg:   cfg,

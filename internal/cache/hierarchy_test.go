@@ -6,6 +6,7 @@ import (
 	"mermaid/internal/bus"
 	"mermaid/internal/memory"
 	"mermaid/internal/pearl"
+	"mermaid/internal/sim"
 )
 
 func testBus() bus.Config { return bus.Config{Width: 8, ArbitrationDelay: 1} }
@@ -48,7 +49,7 @@ func drive(t *testing.T, h *Hierarchy, k *pearl.Kernel, body func(p *pearl.Proce
 
 func mustHierarchy(t *testing.T, k *pearl.Kernel, cfg HierarchyConfig) *Hierarchy {
 	t.Helper()
-	h, err := NewHierarchy(k, "node", cfg, pearl.NewRNG(1), nil)
+	h, err := NewHierarchy(sim.Env{Kernel: k, RNG: pearl.NewRNG(1)}, "node", cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -16,7 +16,10 @@ import (
 	"io"
 	"os"
 
+	"mermaid/internal/fault"
 	"mermaid/internal/machine"
+	"mermaid/internal/probe"
+	"mermaid/internal/sim"
 	"mermaid/internal/stats"
 	"mermaid/internal/stochastic"
 	"mermaid/internal/trace"
@@ -27,18 +30,33 @@ import (
 // simulation).
 type Workbench struct {
 	cfg machine.Config
+	pb  *probe.Probe
+}
+
+// Option customises a workbench.
+type Option func(*Workbench)
+
+// WithProbe attaches the observability layer: every machine the workbench
+// builds registers its metrics in the probe's registry and, if the probe
+// carries a timeline, records span events into it.
+func WithProbe(pb *probe.Probe) Option {
+	return func(w *Workbench) { w.pb = pb }
 }
 
 // New creates a workbench for the given machine configuration.
-func New(cfg machine.Config) (*Workbench, error) {
+func New(cfg machine.Config, opts ...Option) (*Workbench, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return &Workbench{cfg: cfg}, nil
+	w := &Workbench{cfg: cfg}
+	for _, o := range opts {
+		o(w)
+	}
+	return w, nil
 }
 
 // Load creates a workbench from a JSON machine configuration file.
-func Load(path string) (*Workbench, error) {
+func Load(path string, opts ...Option) (*Workbench, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
@@ -47,14 +65,21 @@ func Load(path string) (*Workbench, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Workbench{cfg: cfg}, nil
+	return New(cfg, opts...)
 }
 
 // Config returns the machine configuration.
 func (w *Workbench) Config() machine.Config { return w.cfg }
 
-// Build instantiates a fresh machine model.
-func (w *Workbench) Build() (*machine.Machine, error) { return machine.New(w.cfg) }
+// SetFaults installs a fault schedule (e.g. one loaded from a -faults file),
+// overriding the configuration's own Faults block. The schedule is validated
+// when the next machine is built.
+func (w *Workbench) SetFaults(s *fault.Schedule) { w.cfg.Faults = s }
+
+// Build instantiates a fresh machine model in a fresh environment.
+func (w *Workbench) Build() (*machine.Machine, error) {
+	return machine.Build(sim.NewEnv(w.cfg.Seed, w.pb), w.cfg)
+}
 
 // RunProgram executes an instrumented, execution-driven program on a fresh
 // machine and returns the measured result.

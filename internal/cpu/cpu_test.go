@@ -8,17 +8,18 @@ import (
 	"mermaid/internal/memory"
 	"mermaid/internal/ops"
 	"mermaid/internal/pearl"
+	"mermaid/internal/sim"
 )
 
 func testCPU(t *testing.T) (*pearl.Kernel, *CPU, *cache.Hierarchy) {
 	t.Helper()
 	k := pearl.NewKernel()
-	h, err := cache.NewHierarchy(k, "n", cache.HierarchyConfig{
+	h, err := cache.NewHierarchy(sim.Env{Kernel: k}, "n", cache.HierarchyConfig{
 		CPUs:    1,
 		Private: []cache.Config{{Size: 1024, LineSize: 64, Assoc: 2, HitLatency: 1, Write: cache.WriteBack}},
 		Bus:     bus.Config{Width: 8, ArbitrationDelay: 1},
 		Memory:  memory.Config{ReadLatency: 5, WriteLatency: 5, BytesPerCycle: 8, Ports: 1},
-	}, nil, nil)
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -146,12 +147,12 @@ func TestTableOneComputationalOps(t *testing.T) {
 
 func TestZeroCostOpsDoNotAdvanceTime(t *testing.T) {
 	k := pearl.NewKernel()
-	h, err := cache.NewHierarchy(k, "n", cache.HierarchyConfig{
+	h, err := cache.NewHierarchy(sim.Env{Kernel: k}, "n", cache.HierarchyConfig{
 		CPUs:    1,
 		Private: []cache.Config{{Size: 1024, LineSize: 64, Assoc: 2, HitLatency: 0, Write: cache.WriteBack}},
 		Bus:     bus.Config{Width: 8},
 		Memory:  memory.Config{ReadLatency: 0, WriteLatency: 0, BytesPerCycle: 1024, Ports: 1},
-	}, nil, nil)
+	})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -23,6 +23,7 @@ import (
 	"mermaid/internal/network"
 	"mermaid/internal/ops"
 	"mermaid/internal/pearl"
+	"mermaid/internal/sim"
 	"mermaid/internal/stats"
 )
 
@@ -144,9 +145,13 @@ type Layer struct {
 }
 
 // New creates the layer and spawns one manager process per node.
-func New(k *pearl.Kernel, net *network.Network, cfg Config) (*Layer, error) {
+func New(env sim.Env, net *network.Network, cfg Config) (*Layer, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
+	}
+	k := env.Kernel
+	if k == nil {
+		return nil, fmt.Errorf("dsm: nil kernel in environment")
 	}
 	n := net.Nodes()
 	if n > 64 {

@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"fmt"
+
+	"mermaid/internal/fault"
+	"mermaid/internal/machine"
+	"mermaid/internal/sim"
+	"mermaid/internal/stats"
+	"mermaid/internal/workload"
+)
+
+// FaultResilience exercises the fault-injection subsystem on the 2x2
+// transputer grid: the same Jacobi workload runs healthy, under increasing
+// packet-loss rates, and with a mid-run link failure that forces the routers
+// to re-path. Every scenario completes — the retransmission layer recovers
+// all losses — and the table quantifies the degradation: extra cycles,
+// retransmissions, and packets dropped. All quantities are simulated, so the
+// table is byte-identical across hosts and worker counts.
+func FaultResilience() (*stats.Table, Keys, error) {
+	const nodes, cells, iters = 4, 512, 20
+	run := func(sched *fault.Schedule) (*machine.Result, *machine.Machine, error) {
+		cfg := machine.T805Grid(2, 2)
+		cfg.Faults = sched
+		m, err := machine.Build(sim.NewEnv(cfg.Seed, nil), cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		res, err := m.RunProgram(workload.Jacobi1D(nodes, cells, iters))
+		if err != nil {
+			return nil, nil, err
+		}
+		return res, m, nil
+	}
+
+	retrans := fault.Retrans{Timeout: 200, Backoff: 2, MaxRetries: 16}
+	scenarios := []struct {
+		name  string
+		sched *fault.Schedule
+	}{
+		{"healthy", nil},
+		{"drop 0.1%", &fault.Schedule{
+			Noise:   []fault.LinkNoise{{A: -1, B: -1, Drop: 0.001}},
+			Retrans: retrans,
+		}},
+		{"drop 1%", &fault.Schedule{
+			Noise:   []fault.LinkNoise{{A: -1, B: -1, Drop: 0.01}},
+			Retrans: retrans,
+		}},
+		{"link 0-1 down", &fault.Schedule{
+			Links:   []fault.LinkFault{{A: 0, B: 1, Window: fault.Window{From: 10_000, To: 200_000}}},
+			Retrans: retrans,
+		}},
+	}
+
+	tb := stats.NewTable("scenario", "cycles", "slowdown", "retransmits", "dropped", "abandoned")
+	keys := Keys{}
+	var base float64
+	for _, sc := range scenarios {
+		res, m, err := run(sc.sched)
+		if err != nil {
+			return nil, nil, fmt.Errorf("fault-resilience %s: %w", sc.name, err)
+		}
+		cycles := float64(res.Cycles)
+		if sc.name == "healthy" {
+			base = cycles
+		}
+		var retransmits, dropped, abandoned uint64
+		if m.Faults() != nil {
+			retransmits = m.Network().Retransmits()
+			dropped = m.Faults().Drops()
+			abandoned = m.Network().Lost()
+		}
+		tb.Row(sc.name, int64(res.Cycles), fmt.Sprintf("%.3fx", cycles/base),
+			int64(retransmits), int64(dropped), int64(abandoned))
+		keys["cycles/"+sc.name] = cycles
+		keys["retransmits/"+sc.name] = float64(retransmits)
+	}
+	return tb, keys, nil
+}

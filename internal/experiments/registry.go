@@ -57,6 +57,7 @@ func All() []Experiment {
 		{Name: "imbalance", Deterministic: true, Run: fixed(ImbalanceStudy)},
 		{Name: "scaling", Deterministic: true, Run: fixed(ScalingStudy)},
 		{Name: "stochastic-vs-annotated", Deterministic: true, Run: fixed(StochasticVsAnnotated)},
+		{Name: "fault-resilience", Deterministic: true, Run: fixed(FaultResilience)},
 	}
 }
 

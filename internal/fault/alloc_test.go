@@ -1,0 +1,55 @@
+package fault
+
+import (
+	"testing"
+
+	"mermaid/internal/pearl"
+	"mermaid/internal/topology"
+)
+
+// The fault-disabled hot path is a nil *Injector: every query the network
+// makes per hop must be a pointer test, never an allocation. And with an
+// injector attached but no noise configured, the per-hop queries stay
+// allocation-free too — faults cost only where they act.
+
+func TestAllocFreeNilInjector(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under the race detector")
+	}
+	var inj *Injector
+	if got := testing.AllocsPerRun(200, func() {
+		_ = inj.LinkDown(0, 0)
+		_ = inj.NodeDown(0)
+		_ = inj.Alive(0, 0)
+		_ = inj.HopFate(0, 0)
+		inj.CountDrop()
+	}); got != 0 {
+		t.Errorf("nil injector allocates %v times per op; want 0", got)
+	}
+}
+
+func TestAllocFreeInjectorHotQueries(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under the race detector")
+	}
+	k := pearl.NewKernel()
+	topo, err := topology.New(topology.Config{Kind: topology.Ring, Nodes: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj, err := NewInjector(k, topo, Schedule{
+		Links: []LinkFault{{A: 0, B: 1, Window: Window{From: 10, To: 20}}},
+		Noise: []LinkNoise{{A: 2, B: 3, Drop: 0.5}},
+	}, pearl.NewRNG(1), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := testing.AllocsPerRun(200, func() {
+		_ = inj.LinkDown(0, 0)
+		_ = inj.NodeDown(1)
+		_ = inj.HopFate(0, 0) // no noise on this link: no draw either
+		_ = inj.HopFate(2, 0) // noisy link: a draw, still no allocation
+	}); got != 0 {
+		t.Errorf("injector hot queries allocate %v times per op; want 0", got)
+	}
+}

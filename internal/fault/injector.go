@@ -1,0 +1,464 @@
+package fault
+
+import (
+	"fmt"
+	"sort"
+
+	"mermaid/internal/pearl"
+	"mermaid/internal/probe"
+	"mermaid/internal/stats"
+	"mermaid/internal/topology"
+)
+
+// rngStream is the Derive stream id of the injector's private RNG, so fault
+// draws never perturb any other component's randomness.
+const rngStream = 0xFA171
+
+// Fate is the outcome of one packet hop under the active noise model.
+type Fate uint8
+
+// Hop outcomes.
+const (
+	// OK: the packet crossed the link intact.
+	OK Fate = iota
+	// Dropped: the packet was lost in transit; the source learns of it only
+	// through its retransmission timeout.
+	Dropped
+	// Corrupted: the packet arrived damaged; the receiver detects the bad
+	// checksum and discards it, so recovery timing equals a drop's.
+	Corrupted
+)
+
+// transition is one scheduled fault state change.
+type transition struct {
+	at    pearl.Time
+	apply func()
+}
+
+// Injector applies a Schedule to one machine's interconnect. It is built by
+// the machine assembly only when the schedule is non-empty: a nil *Injector
+// is the disabled subsystem, and every query on it is a nil-safe no-op that
+// performs no allocation — the fault-disabled hot path stays exactly as
+// fast, and as allocation-free, as a build without faults.
+type Injector struct {
+	k    *pearl.Kernel
+	topo topology.Topology
+	rng  *pearl.RNG
+
+	sched   Schedule
+	retrans Retrans
+
+	deg      int
+	nbr      []int32 // [node*deg+port] neighbour node, -1 where unwired
+	linkDown []int   // [node*deg+port] down-window nesting count
+	nodeDown []int   // [node] down-window nesting count
+
+	drop    []float64 // [node*deg+port] per-hop drop probability
+	corrupt []float64 // [node*deg+port] per-hop corruption probability
+	noisy   bool
+
+	// pending is the time-sorted transition list; next indexes the first
+	// not-yet-applied entry. Only one kernel event is outstanding at a time,
+	// scheduled as a daemon event, so a schedule that outlives the workload
+	// never keeps the run alive.
+	pending []transition
+	next    int
+
+	onChange []func()
+
+	drops       stats.Counter
+	corruptions stats.Counter
+
+	tl         *probe.Timeline
+	linkTracks []probe.Track // parallel to sched.Links
+	nodeTracks []probe.Track // parallel to sched.Nodes
+	finished   bool
+}
+
+// NewInjector builds the injector for the given topology and schedule,
+// drawing its private RNG stream from rng (the machine's root stream) and
+// instrumenting through pb. The schedule must be non-empty and must pass
+// Validate for the topology's node count; link faults and noise must name
+// adjacent node pairs.
+func NewInjector(k *pearl.Kernel, topo topology.Topology, sched Schedule, rng *pearl.RNG, pb *probe.Probe) (*Injector, error) {
+	if sched.Empty() {
+		return nil, fmt.Errorf("fault: empty schedule needs no injector")
+	}
+	if err := sched.Validate(topo.Nodes()); err != nil {
+		return nil, err
+	}
+	if rng == nil {
+		rng = pearl.NewRNG(0)
+	}
+	inj := &Injector{
+		k:        k,
+		topo:     topo,
+		rng:      rng.Derive(rngStream),
+		sched:    sched,
+		retrans:  sched.Retrans.WithDefaults(),
+		deg:      topo.Degree(),
+		linkDown: make([]int, topo.Nodes()*topo.Degree()),
+		nodeDown: make([]int, topo.Nodes()),
+		tl:       pb.Timeline(),
+	}
+	// Flatten the wiring once: Neighbors may build its slice per call, and
+	// LinkDown must stay allocation-free on the per-hop path.
+	inj.nbr = make([]int32, topo.Nodes()*topo.Degree())
+	for i := range inj.nbr {
+		inj.nbr[i] = -1
+	}
+	for node := 0; node < topo.Nodes(); node++ {
+		for port, nb := range topo.Neighbors(node) {
+			inj.nbr[node*inj.deg+port] = int32(nb)
+		}
+	}
+	if err := inj.applyNoise(); err != nil {
+		return nil, err
+	}
+	if err := inj.buildTransitions(); err != nil {
+		return nil, err
+	}
+	inj.makeTracks()
+	inj.registerMetrics(pb.Registry())
+	if len(inj.pending) > 0 {
+		inj.scheduleNext()
+	}
+	return inj, nil
+}
+
+// ports resolves the directed link indices of the physical link a—b, or an
+// error if the nodes are not neighbours.
+func (inj *Injector) ports(a, b int) (ab, ba int, err error) {
+	ab, ba = -1, -1
+	for port, nb := range inj.topo.Neighbors(a) {
+		if nb == b {
+			ab = a*inj.deg + port
+		}
+	}
+	for port, nb := range inj.topo.Neighbors(b) {
+		if nb == a {
+			ba = b*inj.deg + port
+		}
+	}
+	if ab < 0 || ba < 0 {
+		return 0, 0, fmt.Errorf("fault: nodes %d and %d are not neighbours in %s", a, b, inj.topo.Name())
+	}
+	return ab, ba, nil
+}
+
+func (inj *Injector) applyNoise() error {
+	for _, ln := range inj.sched.Noise {
+		if ln.Drop == 0 && ln.Corrupt == 0 {
+			continue
+		}
+		if inj.drop == nil {
+			inj.drop = make([]float64, len(inj.linkDown))
+			inj.corrupt = make([]float64, len(inj.linkDown))
+		}
+		inj.noisy = true
+		if ln.A == -1 && ln.B == -1 {
+			for node := 0; node < inj.topo.Nodes(); node++ {
+				for port, nb := range inj.topo.Neighbors(node) {
+					if nb < 0 {
+						continue
+					}
+					idx := node*inj.deg + port
+					inj.drop[idx] += ln.Drop
+					inj.corrupt[idx] += ln.Corrupt
+				}
+			}
+			continue
+		}
+		ab, ba, err := inj.ports(ln.A, ln.B)
+		if err != nil {
+			return err
+		}
+		inj.drop[ab] += ln.Drop
+		inj.corrupt[ab] += ln.Corrupt
+		inj.drop[ba] += ln.Drop
+		inj.corrupt[ba] += ln.Corrupt
+	}
+	if inj.noisy {
+		for i := range inj.drop {
+			if inj.drop[i]+inj.corrupt[i] > 1 {
+				return fmt.Errorf("fault: accumulated noise on link %d exceeds probability 1", i)
+			}
+		}
+	}
+	return nil
+}
+
+func (inj *Injector) buildTransitions() error {
+	add := func(at pearl.Time, apply func()) {
+		inj.pending = append(inj.pending, transition{at: at, apply: apply})
+	}
+	for _, lf := range inj.sched.Links {
+		ab, ba, err := inj.ports(lf.A, lf.B)
+		if err != nil {
+			return err
+		}
+		add(lf.From, func() { inj.linkDown[ab]++; inj.linkDown[ba]++ })
+		if lf.To != 0 {
+			add(lf.To, func() { inj.linkDown[ab]--; inj.linkDown[ba]-- })
+		}
+	}
+	for _, nf := range inj.sched.Nodes {
+		node := nf.Node
+		add(nf.From, func() { inj.nodeDown[node]++ })
+		if nf.To != 0 {
+			add(nf.To, func() { inj.nodeDown[node]-- })
+		}
+	}
+	// Stable by time: same-time transitions keep schedule order, so the
+	// state after each instant is deterministic.
+	sort.SliceStable(inj.pending, func(i, j int) bool { return inj.pending[i].at < inj.pending[j].at })
+	return nil
+}
+
+// scheduleNext queues the kernel event for the next pending transition.
+// Fault state changes are ordinary kernel events: they interleave with the
+// workload's events in strict (time, sequence) order, which is what keeps
+// faulty runs byte-identical at any farm worker count. They are daemon
+// events, though: once nothing but the fault plan remains scheduled, the
+// rest of the plan is unobservable (there is nothing left to route) and the
+// run ends without it.
+func (inj *Injector) scheduleNext() {
+	inj.k.AtDaemon(inj.pending[inj.next].at, inj.fire)
+}
+
+// fire applies every transition scheduled for the current instant, notifies
+// the topology-change subscribers once, and re-arms for the next instant.
+func (inj *Injector) fire() {
+	now := inj.k.Now()
+	for inj.next < len(inj.pending) && inj.pending[inj.next].at == now {
+		inj.pending[inj.next].apply()
+		inj.next++
+	}
+	for _, fn := range inj.onChange {
+		fn()
+	}
+	if inj.next < len(inj.pending) {
+		inj.scheduleNext()
+	}
+}
+
+// OnChange registers a callback invoked (in event context) after every
+// instant at which the link/node up-down state changed — the signal routers
+// re-path on. It is also invoked once immediately, covering faults active
+// from time zero.
+func (inj *Injector) OnChange(fn func()) {
+	if inj == nil {
+		return
+	}
+	inj.onChange = append(inj.onChange, fn)
+	fn()
+}
+
+// LinkDown reports whether the directed link out of `node` via `port` is
+// currently failed — by a link fault on the physical link or a node fault on
+// either endpoint. Nil-safe and allocation-free: the fault-disabled hot path
+// is one pointer test.
+func (inj *Injector) LinkDown(node, port int) bool {
+	if inj == nil {
+		return false
+	}
+	if inj.linkDown[node*inj.deg+port] > 0 || inj.nodeDown[node] > 0 {
+		return true
+	}
+	nb := inj.nbr[node*inj.deg+port]
+	return nb >= 0 && inj.nodeDown[nb] > 0
+}
+
+// NodeDown reports whether the node is currently crashed.
+func (inj *Injector) NodeDown(node int) bool {
+	return inj != nil && inj.nodeDown[node] > 0
+}
+
+// Alive is the liveness predicate routers re-path against: the directed link
+// out of `node` via `port` is usable right now.
+func (inj *Injector) Alive(node, port int) bool { return !inj.LinkDown(node, port) }
+
+// HopFate draws the outcome of one packet hop out of `node` via `port`
+// under the configured noise model. Without noise it returns OK without
+// consuming a draw, so a noise-free schedule stays draw-for-draw identical
+// to one with no noise block at all.
+func (inj *Injector) HopFate(node, port int) Fate {
+	if inj == nil || !inj.noisy {
+		return OK
+	}
+	idx := node*inj.deg + port
+	d, c := inj.drop[idx], inj.corrupt[idx]
+	if d == 0 && c == 0 {
+		return OK
+	}
+	u := inj.rng.Float64()
+	switch {
+	case u < d:
+		inj.drops.Inc()
+		return Dropped
+	case u < d+c:
+		inj.corruptions.Inc()
+		return Corrupted
+	}
+	return OK
+}
+
+// CountDrop records a packet lost to a down link or node (window faults, as
+// opposed to the probabilistic noise that HopFate counts itself).
+func (inj *Injector) CountDrop() {
+	if inj != nil {
+		inj.drops.Inc()
+	}
+}
+
+// Retrans returns the retransmission parameters with defaults applied.
+func (inj *Injector) Retrans() Retrans {
+	if inj == nil {
+		return Retrans{}.WithDefaults()
+	}
+	return inj.retrans
+}
+
+// Drops returns how many packets were lost to down links/nodes or noise.
+func (inj *Injector) Drops() uint64 {
+	if inj == nil {
+		return 0
+	}
+	return inj.drops.Value()
+}
+
+// Corruptions returns how many packets arrived damaged and were discarded.
+func (inj *Injector) Corruptions() uint64 {
+	if inj == nil {
+		return 0
+	}
+	return inj.corruptions.Value()
+}
+
+// DowntimeUpTo returns how long node has been down in [0, now): the union of
+// its crash windows clipped to the elapsed run.
+func (inj *Injector) DowntimeUpTo(node int, now pearl.Time) pearl.Time {
+	if inj == nil {
+		return 0
+	}
+	// Merge the (few, usually sorted) windows on the fly.
+	var total, coveredTo pearl.Time
+	for {
+		// Earliest window for this node starting at or after coveredTo.
+		best := pearl.Time(-1)
+		var bestTo pearl.Time
+		for _, nf := range inj.sched.Nodes {
+			if nf.Node != node {
+				continue
+			}
+			from, to, ok := nf.clip(now)
+			if !ok || to <= coveredTo {
+				continue
+			}
+			if from < coveredTo {
+				from = coveredTo
+			}
+			if best < 0 || from < best {
+				best, bestTo = from, to
+			} else if from == best && to > bestTo {
+				bestTo = to
+			}
+		}
+		if best < 0 {
+			return total
+		}
+		// Extend over overlapping windows.
+		for changed := true; changed; {
+			changed = false
+			for _, nf := range inj.sched.Nodes {
+				if nf.Node != node {
+					continue
+				}
+				from, to, ok := nf.clip(now)
+				if ok && from <= bestTo && to > bestTo {
+					bestTo = to
+					changed = true
+				}
+			}
+		}
+		total += bestTo - best
+		coveredTo = bestTo
+	}
+}
+
+// makeTracks creates the timeline fault tracks — one per scheduled link
+// fault pair and one per crashed node — under the "fault" group. Tracks are
+// only created when a timeline is attached and only for components the
+// schedule actually touches.
+func (inj *Injector) makeTracks() {
+	if inj.tl == nil {
+		return
+	}
+	seenLink := map[[2]int]probe.Track{}
+	inj.linkTracks = make([]probe.Track, len(inj.sched.Links))
+	for i, lf := range inj.sched.Links {
+		a, b := lf.A, lf.B
+		if a > b {
+			a, b = b, a
+		}
+		key := [2]int{a, b}
+		tr, ok := seenLink[key]
+		if !ok {
+			tr = inj.tl.Track(fmt.Sprintf("fault.link%d-%d", a, b))
+			seenLink[key] = tr
+		}
+		inj.linkTracks[i] = tr
+	}
+	seenNode := map[int]probe.Track{}
+	inj.nodeTracks = make([]probe.Track, len(inj.sched.Nodes))
+	for i, nf := range inj.sched.Nodes {
+		tr, ok := seenNode[nf.Node]
+		if !ok {
+			tr = inj.tl.Track(fmt.Sprintf("fault.node%d", nf.Node))
+			seenNode[nf.Node] = tr
+		}
+		inj.nodeTracks[i] = tr
+	}
+}
+
+// registerMetrics publishes the degraded-mode accounting under stable dotted
+// names: the loss counters and one downtime gauge per node the schedule can
+// crash.
+func (inj *Injector) registerMetrics(reg *probe.Registry) {
+	reg.Counter("fault.drops", &inj.drops)
+	reg.Counter("fault.corruptions", &inj.corruptions)
+	seen := map[int]bool{}
+	for _, nf := range inj.sched.Nodes {
+		if seen[nf.Node] {
+			continue
+		}
+		seen[nf.Node] = true
+		node := nf.Node
+		reg.Gauge(fmt.Sprintf("node%d.downtime", node), "cyc", func() float64 {
+			return float64(inj.DowntimeUpTo(node, inj.k.Now()))
+		})
+	}
+}
+
+// Finish closes the injector's timeline accounting at the end of a run of
+// `end` cycles: every scheduled down window is emitted as one "down" span on
+// its fault track, clipped to the run. Safe to call once; later calls no-op.
+func (inj *Injector) Finish(end pearl.Time) {
+	if inj == nil || inj.finished {
+		return
+	}
+	inj.finished = true
+	if inj.tl == nil {
+		return
+	}
+	for i, lf := range inj.sched.Links {
+		if from, to, ok := lf.clip(end); ok {
+			inj.tl.Span(inj.linkTracks[i], "down", from, to)
+		}
+	}
+	for i, nf := range inj.sched.Nodes {
+		if from, to, ok := nf.clip(end); ok {
+			inj.tl.Span(inj.nodeTracks[i], "down", from, to)
+		}
+	}
+}

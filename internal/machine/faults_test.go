@@ -1,0 +1,162 @@
+package machine
+
+import (
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+
+	"mermaid/internal/fault"
+	"mermaid/internal/sim"
+	"mermaid/internal/workload"
+)
+
+func TestParseConfigVersions(t *testing.T) {
+	// A legacy (unversioned) file upgrades to the current schema.
+	legacy := T805Grid(2, 2)
+	data, err := json.Marshal(legacy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(data), `"version"`) {
+		t.Fatalf("zero version serialized: %s", data)
+	}
+	cfg, err := ParseConfig(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Version != ConfigVersion {
+		t.Errorf("parsed version = %d, want upgrade to %d", cfg.Version, ConfigVersion)
+	}
+
+	// A current-version file with a fault plan parses.
+	v1 := T805Grid(2, 2)
+	v1.Version = ConfigVersion
+	v1.Faults = &fault.Schedule{Nodes: []fault.NodeFault{{Node: 1, Window: fault.Window{From: 10, To: 20}}}}
+	data, err = json.Marshal(v1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err = ParseConfig(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Faults == nil || len(cfg.Faults.Nodes) != 1 {
+		t.Errorf("faults lost in round trip: %+v", cfg.Faults)
+	}
+
+	// The same fault plan in an unversioned file is a mistake, not an
+	// upgrade: the legacy schema predates faults.
+	v0 := v1
+	v0.Version = 0
+	data, err = json.Marshal(v0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseConfig(data); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Errorf("unversioned faults accepted (err = %v)", err)
+	}
+
+	// Future schema versions are rejected rather than misread.
+	future := T805Grid(2, 2)
+	future.Version = 99
+	data, err = json.Marshal(future)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseConfig(data); err == nil || !strings.Contains(err.Error(), "unsupported config version") {
+		t.Errorf("future version accepted (err = %v)", err)
+	}
+}
+
+func TestFaultsRequireNetwork(t *testing.T) {
+	cfg := PPC601Machine() // single node, no interconnect
+	cfg.Faults = &fault.Schedule{Nodes: []fault.NodeFault{{Node: 0}}}
+	if err := cfg.Validate(); err == nil {
+		t.Error("fault plan on an un-networked machine accepted")
+	}
+}
+
+// runPingPong builds a 2x1 transputer grid (one physical link, so a link
+// fault severs the machine) and runs a ping-pong under the given fault plan.
+func runPingPong(t *testing.T, sched *fault.Schedule) (*Result, *Machine, error) {
+	t.Helper()
+	cfg := T805Grid(2, 1)
+	cfg.Faults = sched
+	m, err := Build(sim.NewEnv(cfg.Seed, nil), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.RunProgram(workload.PingPong(10, 1024))
+	return res, m, err
+}
+
+func TestLinkFlapRecoversThroughRetransmission(t *testing.T) {
+	healthy, _, err := runPingPong(t, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Flap the only link mid-run: every packet in the window is dropped and
+	// must be recovered by retransmission once the link returns.
+	res, m, err := runPingPong(t, &fault.Schedule{
+		Links:   []fault.LinkFault{{A: 0, B: 1, Window: fault.Window{From: 3_000, To: 15_000}}},
+		Retrans: fault.Retrans{Timeout: 200, Backoff: 2, MaxRetries: 16},
+	})
+	if err != nil {
+		t.Fatalf("flapped run did not recover: %v", err)
+	}
+	if m.Network().Retransmits() == 0 {
+		t.Error("link flap recovered without retransmissions")
+	}
+	if m.Network().Lost() != 0 {
+		t.Errorf("%d packets abandoned despite recovery window", m.Network().Lost())
+	}
+	if m.Faults().Drops() == 0 {
+		t.Error("no drops recorded across a down window")
+	}
+	if res.Cycles <= healthy.Cycles {
+		t.Errorf("flapped run took %d cycles, healthy %d; faults must cost time", res.Cycles, healthy.Cycles)
+	}
+
+	// The faulty run is deterministic: an identical build reproduces it.
+	res2, m2, err := runPingPong(t, &fault.Schedule{
+		Links:   []fault.LinkFault{{A: 0, B: 1, Window: fault.Window{From: 3_000, To: 15_000}}},
+		Retrans: fault.Retrans{Timeout: 200, Backoff: 2, MaxRetries: 16},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Cycles != res.Cycles || m2.Network().Retransmits() != m.Network().Retransmits() {
+		t.Errorf("fault run not reproducible: %d/%d cycles, %d/%d retransmits",
+			res.Cycles, res2.Cycles, m.Network().Retransmits(), m2.Network().Retransmits())
+	}
+}
+
+func TestPermanentPartitionAbandonsPackets(t *testing.T) {
+	// The only link stays down forever and retries are few: the sender gives
+	// the packet up and the machine reports the resulting deadlock honestly.
+	_, m, err := runPingPong(t, &fault.Schedule{
+		Links:   []fault.LinkFault{{A: 0, B: 1, Window: fault.Window{From: 0}}},
+		Retrans: fault.Retrans{Timeout: 100, Backoff: 2, MaxRetries: 2},
+	})
+	var dead *DeadlockError
+	if !errors.As(err, &dead) {
+		t.Fatalf("severed machine finished with err = %v, want DeadlockError", err)
+	}
+	if m.Network().Lost() == 0 {
+		t.Error("no packets abandoned on a permanently severed link")
+	}
+}
+
+func TestEmptyFaultScheduleBuildsNoInjector(t *testing.T) {
+	cfg := T805Grid(2, 1)
+	cfg.Faults = &fault.Schedule{Retrans: fault.Retrans{Timeout: 9}} // inert
+	m, err := Build(sim.NewEnv(cfg.Seed, nil), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Faults() != nil {
+		t.Error("inert schedule built an injector")
+	}
+}

@@ -23,10 +23,12 @@ import (
 	"time"
 
 	"mermaid/internal/dsm"
+	"mermaid/internal/fault"
 	"mermaid/internal/network"
 	"mermaid/internal/node"
 	"mermaid/internal/pearl"
 	"mermaid/internal/probe"
+	"mermaid/internal/sim"
 	"mermaid/internal/stats"
 	"mermaid/internal/stochastic"
 	"mermaid/internal/trace"
@@ -44,10 +46,19 @@ const (
 	TaskLevel Mode = "task"
 )
 
+// ConfigVersion is the current machine-configuration schema version. Version
+// 0 files (the legacy, unversioned schema) are upgraded on parse; versions
+// beyond ConfigVersion are rejected.
+const ConfigVersion = 1
+
 // Config describes a complete machine.
 type Config struct {
-	Name string
-	Mode Mode
+	// Version is the configuration schema version: omitted/0 for a legacy
+	// file (upgraded to the current schema on parse), or ConfigVersion. The
+	// Faults block exists only from version 1 on.
+	Version int `json:"version,omitempty"`
+	Name    string
+	Mode    Mode
 	// Nodes is the MIMD node count; it must match the topology size.
 	Nodes int
 	// Node parameterises every node (detailed mode only).
@@ -60,13 +71,13 @@ type Config struct {
 	// segment are resolved by a page-based protocol instead of explicit
 	// communication (§5's future work).
 	DSM *dsm.Config
+	// Faults, when non-nil and non-empty, is the declarative fault plan
+	// (schema v1): link/node down windows, packet noise and retransmission
+	// parameters, applied deterministically in virtual time. Requires a
+	// networked (multi-node) machine.
+	Faults *fault.Schedule `json:"faults,omitempty"`
 	// Seed drives every random policy in the model.
 	Seed uint64
-	// Probe, when non-nil, attaches the observability layer: every component
-	// registers its counters in the probe's metrics registry and, if the
-	// probe carries a timeline, emits span events into it. Not part of the
-	// JSON configuration surface — it is wired programmatically.
-	Probe *probe.Probe `json:"-"`
 }
 
 // Validate checks the configuration's cross-component consistency.
@@ -100,6 +111,14 @@ func (c *Config) Validate() error {
 			return err
 		}
 	}
+	if !c.Faults.Empty() {
+		if !c.hasNetwork() {
+			return fmt.Errorf("machine: fault injection requires a networked (multi-node) machine")
+		}
+		if err := c.Faults.Validate(c.Nodes); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -107,7 +126,9 @@ func (c *Config) hasNetwork() bool { return c.Nodes > 1 }
 
 // ParseConfig decodes a machine configuration from JSON. Anything but
 // whitespace after the JSON document is an error: a truncated or
-// concatenated configuration must not silently half-parse.
+// concatenated configuration must not silently half-parse. Legacy version-0
+// files are upgraded to the current schema; files from a future schema are
+// rejected rather than misread.
 func ParseConfig(data []byte) (Config, error) {
 	var cfg Config
 	dec := json.NewDecoder(bytes.NewReader(data))
@@ -117,6 +138,20 @@ func ParseConfig(data []byte) (Config, error) {
 	}
 	if _, err := dec.Token(); err != io.EOF {
 		return Config{}, fmt.Errorf("machine: trailing data after configuration JSON")
+	}
+	switch cfg.Version {
+	case 0:
+		// Legacy schema: identical to v1 except that it predates the Faults
+		// block, so one appearing in an unversioned file is a mistake worth
+		// rejecting, not upgrading.
+		if cfg.Faults != nil {
+			return Config{}, fmt.Errorf("machine: faults block requires config version %d", ConfigVersion)
+		}
+		cfg.Version = ConfigVersion
+	case ConfigVersion:
+	default:
+		return Config{}, fmt.Errorf("machine: unsupported config version %d (this build reads up to %d)",
+			cfg.Version, ConfigVersion)
 	}
 	if err := cfg.Validate(); err != nil {
 		return Config{}, err
@@ -128,31 +163,48 @@ func ParseConfig(data []byte) (Config, error) {
 type Machine struct {
 	cfg   Config
 	k     *pearl.Kernel
+	pb    *probe.Probe
 	net   *network.Network
 	nodes []*node.Node
 	procs []*network.Processor
 	dsm   *dsm.Layer
+	inj   *fault.Injector
 	mon   *Monitor
 }
 
-// New builds the machine.
+// New builds the machine in a fresh environment seeded from the
+// configuration, without instrumentation. To attach a probe or share a
+// kernel, build the environment yourself and use Build.
 func New(cfg Config) (*Machine, error) {
+	return Build(sim.NewEnv(cfg.Seed, nil), cfg)
+}
+
+// Build assembles the machine in the given environment. env.Kernel hosts
+// every component; env.RNG (normally seeded with cfg.Seed) is the root of
+// all component random streams; env.Probe, when non-nil, attaches the
+// observability layer: every component registers its counters in the probe's
+// metrics registry and, if the probe carries a timeline, emits span events
+// into it.
+func Build(env sim.Env, cfg Config) (*Machine, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	k := pearl.NewKernel()
-	m := &Machine{cfg: cfg, k: k}
-	if tl := cfg.Probe.Timeline(); tl != nil {
+	k := env.Kernel
+	if k == nil {
+		return nil, fmt.Errorf("machine: nil kernel in environment")
+	}
+	m := &Machine{cfg: cfg, k: k, pb: env.Probe}
+	if tl := env.Timeline(); tl != nil {
 		// Kernel block spans (holds, receives, resource queues) for every
 		// process opted in via TrackProcess.
 		k.SetTracer(tl)
 	}
-	cfg.Probe.Registry().Gauge("kernel.events", "", func() float64 { return float64(k.EventCount()) })
+	env.Registry().Gauge("kernel.events", "", func() float64 { return float64(k.EventCount()) })
 	if cfg.hasNetwork() {
 		if cfg.Network.Topology.Kind == "" {
 			return nil, fmt.Errorf("machine: %d nodes but no topology", cfg.Nodes)
 		}
-		net, err := network.New(k, cfg.Network, cfg.Probe)
+		net, err := network.New(env, cfg.Network)
 		if err != nil {
 			return nil, err
 		}
@@ -163,20 +215,19 @@ func New(cfg Config) (*Machine, error) {
 		m.net = net
 	}
 	if cfg.Mode == Detailed {
-		rng := pearl.NewRNG(cfg.Seed)
 		for i := 0; i < cfg.Nodes; i++ {
 			var nif *network.NodeIf
 			if m.net != nil {
 				nif = m.net.Node(i)
 			}
-			nd, err := node.New(k, i, cfg.Node, nif, rng.Derive(uint64(i)), cfg.Probe)
+			nd, err := node.New(env, node.Params{ID: i, Cfg: cfg.Node, NIF: nif})
 			if err != nil {
 				return nil, err
 			}
 			m.nodes = append(m.nodes, nd)
 		}
 		if cfg.DSM != nil {
-			layer, err := dsm.New(k, m.net, *cfg.DSM)
+			layer, err := dsm.New(env, m.net, *cfg.DSM)
 			if err != nil {
 				return nil, err
 			}
@@ -186,8 +237,22 @@ func New(cfg Config) (*Machine, error) {
 			}
 		}
 	}
+	if !cfg.Faults.Empty() {
+		// Registered last so that with an empty schedule the metric registry
+		// and timeline are bit-identical to a build without the subsystem.
+		inj, err := fault.NewInjector(k, m.net.Topology(), *cfg.Faults, env.RNG, env.Probe)
+		if err != nil {
+			return nil, err
+		}
+		m.inj = inj
+		m.net.AttachFaults(inj)
+	}
 	return m, nil
 }
+
+// Faults returns the fault injector, or nil when the configuration schedules
+// no faults.
+func (m *Machine) Faults() *fault.Injector { return m.inj }
 
 // DSM returns the virtual-shared-memory layer, or nil.
 func (m *Machine) DSM() *dsm.Layer { return m.dsm }
@@ -276,6 +341,10 @@ func (m *Machine) Run(srcs []trace.Source) (*Result, error) {
 	start := time.Now()
 	cycles := m.k.Run()
 	wall := time.Since(start)
+
+	// Close fault accounting at the run's end: down-window spans are clipped
+	// to the measured length before the timeline is flushed.
+	m.inj.Finish(cycles)
 
 	for _, nd := range m.nodes {
 		if err := nd.Err(); err != nil {
@@ -389,7 +458,7 @@ func (m *Machine) result(cycles pearl.Time, wall time.Duration) *Result {
 		root.Subsets = append(root.Subsets, m.dsm.Stats())
 	}
 	root.PutUint("instructions", r.Instructions, "")
-	if reg := m.cfg.Probe.Registry(); reg.Len() > 0 {
+	if reg := m.pb.Registry(); reg.Len() > 0 {
 		// The flat registry dump: every registered metric under its stable
 		// dotted name (node0.cache.l1d.misses, net.messages, ...).
 		root.Subsets = append(root.Subsets, reg.Dump())

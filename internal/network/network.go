@@ -9,9 +9,11 @@ package network
 import (
 	"fmt"
 
+	"mermaid/internal/fault"
 	"mermaid/internal/pearl"
 	"mermaid/internal/probe"
 	"mermaid/internal/router"
+	"mermaid/internal/sim"
 	"mermaid/internal/stats"
 	"mermaid/internal/topology"
 )
@@ -97,18 +99,33 @@ type Network struct {
 	bytes      stats.Counter
 	acks       stats.Counter
 
+	// Fault-injection state (all nil/zero on a healthy build — the hot path
+	// pays one nil test): the injector supplies link/node liveness and packet
+	// fates, the table re-paths around dead links, and the counters account
+	// the recovery traffic.
+	faults      *fault.Injector
+	table       *router.Table
+	retransmits stats.Counter
+	lost        stats.Counter
+	repaths     stats.Counter
+
 	// Timeline instrumentation (nil when no probe is attached): one track
 	// per directed link virtual channel, parallel to links.
 	tl         *probe.Timeline
 	linkTracks []probe.Track
+	reg        *probe.Registry
 }
 
-// New builds the network on kernel k. pb may be nil (no instrumentation);
-// with a probe attached the network registers its traffic counters and
-// emits one "pkt" span per packet and link hop.
-func New(k *pearl.Kernel, cfg Config, pb *probe.Probe) (*Network, error) {
+// New builds the network on env's kernel. With a probe attached the network
+// registers its traffic counters and emits one "pkt" span per packet and
+// link hop.
+func New(env sim.Env, cfg Config) (*Network, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
+	}
+	k, pb := env.Kernel, env.Probe
+	if k == nil {
+		return nil, fmt.Errorf("network: sim.Env without a kernel")
 	}
 	topo, err := topology.New(cfg.Topology)
 	if err != nil {
@@ -159,8 +176,41 @@ func New(k *pearl.Kernel, cfg Config, pb *probe.Probe) (*Network, error) {
 	reg.Gauge("net.latency.mean", "cyc", n.msgLatency.Mean)
 	reg.Gauge("net.hops.mean", "", n.hopHist.Mean)
 	reg.Gauge("net.link-utilization.avg", "", func() float64 { avg, _ := n.LinkUtilization(); return avg })
+	n.reg = reg
 	return n, nil
 }
+
+// AttachFaults activates the fault-injection subsystem on this network: the
+// injector's schedule governs link/node liveness and packet noise, routing
+// switches to a re-pathing table recomputed on every topology-change event,
+// and lost packets are recovered by retransmission with exponential backoff.
+// Attaching nil is a no-op; must be called before the simulation runs.
+//
+// While faults are attached, path selection is always table-based minimal
+// routing over the live graph: the Valiant and Adaptive strategies assume a
+// static topology and are overridden (see DESIGN.md, "Fault model").
+func (n *Network) AttachFaults(inj *fault.Injector) {
+	if inj == nil {
+		return
+	}
+	n.faults = inj
+	n.reg.Counter("net.retransmits", &n.retransmits)
+	n.reg.Counter("net.lost", &n.lost)
+	n.reg.Counter("net.repaths", &n.repaths)
+	inj.OnChange(func() {
+		n.table = router.BuildTable(n.topo, inj.Alive)
+		n.repaths.Inc()
+	})
+}
+
+// Faults returns the attached fault injector, or nil on a healthy build.
+func (n *Network) Faults() *fault.Injector { return n.faults }
+
+// Retransmits returns how many packet retransmissions the network issued.
+func (n *Network) Retransmits() uint64 { return n.retransmits.Value() }
+
+// Lost returns how many packets were abandoned after exhausting retries.
+func (n *Network) Lost() uint64 { return n.lost.Value() }
 
 // Nodes returns the node count.
 func (n *Network) Nodes() int { return n.topo.Nodes() }
@@ -211,22 +261,69 @@ func (n *Network) inject(msg *Message) {
 	}
 }
 
-// forward carries one packet from msg.Src to msg.Dst, implementing the
-// configured switching strategy. It runs as its own simulation process.
+// forward carries one packet from msg.Src to msg.Dst, retransmitting after
+// a backed-off timeout whenever the fault subsystem loses an attempt. It
+// runs as its own simulation process. On a healthy build (no injector) the
+// single attempt is exactly the pre-fault transport.
 func (n *Network) forward(p *pearl.Process, msg *Message, pktBytes uint32) {
+	attempt := 0
+	for !n.attemptForward(p, msg, pktBytes) {
+		// The packet was lost. The source learns of it through its
+		// retransmission timer (corruptions are discarded at the receiver,
+		// so recovery timing is the same) and resends after the timeout,
+		// backing off exponentially per attempt.
+		attempt++
+		rt := n.faults.Retrans()
+		if rt.MaxRetries > 0 && attempt > rt.MaxRetries {
+			// Abandon the packet: the message can never complete, which the
+			// end-of-run drain check reports as blocked receivers.
+			n.lost.Inc()
+			return
+		}
+		n.retransmits.Inc()
+		p.Hold(rt.Delay(attempt))
+	}
+	msg.remaining--
+	if msg.remaining == 0 {
+		n.delivered(msg)
+	}
+}
+
+// attemptForward tries to carry one packet from msg.Src to msg.Dst through
+// the configured switching strategy, reporting whether it arrived intact.
+// Every fault check is a nil test on a healthy build.
+func (n *Network) attemptForward(p *pearl.Process, msg *Message, pktBytes uint32) bool {
 	rc := &n.cfg.Router
 	transfer := n.transferTime(pktBytes)
 	perHop := rc.RoutingDelay + n.cfg.Link.PropDelay
 	var held []*pearl.Resource
 	var heldStarts []pearl.Time  // per held channel, acquisition time
 	var heldTracks []probe.Track // per held channel, its timeline track
+	// releaseHeld frees a worm's channels when an attempt ends, successfully
+	// or not; the spans cover the time the channels were actually owned.
+	releaseHeld := func() {
+		for i, l := range held {
+			l.Release()
+			if n.tl != nil {
+				n.tl.Span(heldTracks[i], "pkt", heldStarts[i], p.Now())
+			}
+		}
+		held = held[:0]
+	}
 	wrapped := make([]bool, n.topo.Dims())
 	hops := 0
 	at := msg.Src
+	if n.faults != nil && (n.faults.NodeDown(msg.Src) || n.faults.NodeDown(msg.Dst)) {
+		// Source interface crashed, or the destination would discard the
+		// arrival: the packet goes nowhere this attempt.
+		n.faults.CountDrop()
+		return false
+	}
 	// Valiant routing: a random intermediate waypoint precedes the true
-	// destination; each leg is routed minimally.
+	// destination; each leg is routed minimally. Under active faults the
+	// re-pathing table overrides it (minimal routing over the live graph).
 	waypoints := []int{msg.Dst}
-	if rc.Routing == router.Valiant {
+	if rc.Routing == router.Valiant && n.table == nil {
 		if mid := n.rng.Intn(n.topo.Nodes()); mid != msg.Src && mid != msg.Dst {
 			waypoints = []int{mid, msg.Dst}
 		}
@@ -239,10 +336,27 @@ func (n *Network) forward(p *pearl.Process, msg *Message, pktBytes uint32) {
 			waypoints = waypoints[1:]
 		}
 		var port int
-		if rc.Routing == router.Adaptive {
+		switch {
+		case n.table != nil:
+			port = n.table.Port(at, target)
+			if port < 0 {
+				// The live graph is partitioned right now; retry after the
+				// timeout, by which time links may have recovered.
+				n.faults.CountDrop()
+				releaseHeld()
+				return false
+			}
+		case rc.Routing == router.Adaptive:
 			port = n.adaptivePort(at, target)
-		} else {
+		default:
 			port = n.topo.Route(at, target)
+		}
+		if n.faults != nil && n.faults.LinkDown(at, port) {
+			// The table has not been recomputed for a fault landing at this
+			// exact instant; the packet is lost at the dead link.
+			n.faults.CountDrop()
+			releaseHeld()
+			return false
 		}
 		next := n.topo.Neighbors(at)[port]
 		vc := 0
@@ -289,22 +403,33 @@ func (n *Network) forward(p *pearl.Process, msg *Message, pktBytes uint32) {
 			}
 			p.Hold(perHop)
 		}
+		if n.faults != nil {
+			if n.faults.LinkDown(at, port) {
+				// The link failed while the packet was crossing it.
+				n.faults.CountDrop()
+				releaseHeld()
+				return false
+			}
+			if n.faults.HopFate(at, port) != fault.OK {
+				// Dropped in transit or discarded at the next router's
+				// checksum; either way this attempt is over.
+				releaseHeld()
+				return false
+			}
+		}
 		at = next
 	}
 	if rc.Switching != router.StoreAndForward {
 		p.Hold(transfer) // body drains at the destination
 	}
-	for i, l := range held {
-		l.Release()
-		if n.tl != nil {
-			n.tl.Span(heldTracks[i], "pkt", heldStarts[i], p.Now())
-		}
+	releaseHeld()
+	if n.faults != nil && n.faults.NodeDown(msg.Dst) {
+		// The destination crashed while the packet was in flight.
+		n.faults.CountDrop()
+		return false
 	}
 	n.hopHist.Observe(int64(hops))
-	msg.remaining--
-	if msg.remaining == 0 {
-		n.delivered(msg)
-	}
+	return true
 }
 
 // adaptivePort picks, among the minimal output ports, the one whose channel

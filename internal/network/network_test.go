@@ -3,9 +3,11 @@ package network
 import (
 	"testing"
 
+	"mermaid/internal/fault"
 	"mermaid/internal/ops"
 	"mermaid/internal/pearl"
 	"mermaid/internal/router"
+	"mermaid/internal/sim"
 	"mermaid/internal/topology"
 )
 
@@ -22,7 +24,7 @@ func ringConfig(sw router.Switching) Config {
 
 func mustNet(t *testing.T, k *pearl.Kernel, cfg Config) *Network {
 	t.Helper()
-	n, err := New(k, cfg, nil)
+	n, err := New(sim.Env{Kernel: k}, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -470,5 +472,84 @@ func TestAdaptiveStaysMinimal(t *testing.T) {
 	// must not take more.
 	if h := n.MeanHops(); h != 2 {
 		t.Fatalf("mean hops = %v, want minimal 2", h)
+	}
+}
+
+func TestLinkFlapRetransmitsAndDelivers(t *testing.T) {
+	// A 2x1 mesh has a single physical link. Take it down for the start of
+	// the run: the first packet is dropped, the sender's retransmission
+	// timer retries through the outage, and delivery succeeds once the link
+	// returns — the resilient path end to end.
+	k := pearl.NewKernel()
+	n := mustNet(t, k, Config{
+		Topology:     topology.Config{Kind: topology.Mesh2D, DimX: 2, DimY: 1},
+		Router:       router.Config{Switching: router.StoreAndForward, RoutingDelay: 2, MaxPacket: 4096, HeaderBytes: 0},
+		Link:         LinkConfig{BytesPerCycle: 8, PropDelay: 1},
+		SendOverhead: 3,
+		RecvOverhead: 2,
+		AckBytes:     8,
+	})
+	inj, err := fault.NewInjector(k, n.Topology(), fault.Schedule{
+		Links:   []fault.LinkFault{{A: 0, B: 1, Window: fault.Window{From: 0, To: 500}}},
+		Retrans: fault.Retrans{Timeout: 50, Backoff: 2, MaxRetries: 16},
+	}, pearl.NewRNG(1), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.AttachFaults(inj)
+
+	var recvAt pearl.Time
+	k.Spawn("sender", func(p *pearl.Process) {
+		n.Node(0).Send(p, 1, 64, 0, "through the outage", false)
+	})
+	k.Spawn("receiver", func(p *pearl.Process) {
+		m := n.Node(1).Recv(p, 0, 0)
+		recvAt = p.Now()
+		if m.Payload != "through the outage" {
+			t.Errorf("payload = %v", m.Payload)
+		}
+	})
+	k.Run()
+	if recvAt < 500 {
+		t.Fatalf("delivered at %d, inside the outage window", recvAt)
+	}
+	if n.Retransmits() == 0 {
+		t.Error("delivery across an outage without retransmissions")
+	}
+	if n.Lost() != 0 {
+		t.Errorf("%d packets abandoned", n.Lost())
+	}
+	if inj.Drops() == 0 {
+		t.Error("no drops recorded for packets sent into the outage")
+	}
+}
+
+func TestCrashedDestinationDropsUntilRestart(t *testing.T) {
+	// Node 1 is down for the first stretch; a packet sent at time zero is
+	// held by retransmission until the node restarts.
+	k := pearl.NewKernel()
+	n := mustNet(t, k, ringConfig(router.StoreAndForward))
+	inj, err := fault.NewInjector(k, n.Topology(), fault.Schedule{
+		Nodes:   []fault.NodeFault{{Node: 1, Window: fault.Window{From: 0, To: 300}}},
+		Retrans: fault.Retrans{Timeout: 40, Backoff: 2, MaxRetries: 16},
+	}, pearl.NewRNG(1), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.AttachFaults(inj)
+	var recvAt pearl.Time
+	k.Spawn("sender", func(p *pearl.Process) {
+		n.Node(0).Send(p, 1, 16, 0, nil, false)
+	})
+	k.Spawn("receiver", func(p *pearl.Process) {
+		n.Node(1).Recv(p, 0, 0)
+		recvAt = p.Now()
+	})
+	k.Run()
+	if recvAt < 300 {
+		t.Fatalf("delivered at %d while the destination was down", recvAt)
+	}
+	if n.Retransmits() == 0 {
+		t.Error("no retransmissions across the crash window")
 	}
 }

@@ -18,6 +18,7 @@ import (
 	"mermaid/internal/ops"
 	"mermaid/internal/pearl"
 	"mermaid/internal/probe"
+	"mermaid/internal/sim"
 	"mermaid/internal/stats"
 	"mermaid/internal/trace"
 )
@@ -26,6 +27,19 @@ import (
 type Config struct {
 	Hierarchy cache.HierarchyConfig
 	Timing    cpu.Timing
+}
+
+// Params is the per-node construction parameter block: everything New needs
+// beyond the shared sim.Env.
+type Params struct {
+	// ID is the node's machine-wide id; it also selects the node's private
+	// random substream, derived from the environment's root stream.
+	ID int
+	// Cfg parameterises the node's CPUs and memory system.
+	Cfg Config
+	// NIF is the node's network endpoint, or nil when the node is not part
+	// of a message-passing machine (pure shared-memory simulation, §4.3).
+	NIF *network.NodeIf
 }
 
 // Node is one MIMD node: CPUs plus memory hierarchy, optionally attached to
@@ -56,27 +70,32 @@ type runner struct {
 	done bool
 }
 
-// New builds a node on kernel k. nif may be nil when the node is not part of
-// a message-passing machine (pure shared-memory simulation, §4.3). pb may be
-// nil (no instrumentation); with a probe attached the node registers its CPU
-// metrics and emits compute-burst and communication spans per CPU.
-func New(k *pearl.Kernel, id int, cfg Config, nif *network.NodeIf, rng *pearl.RNG, pb *probe.Probe) (*Node, error) {
-	name := fmt.Sprintf("node%d", id)
-	hier, err := cache.NewHierarchy(k, name, cfg.Hierarchy, rng, pb)
+// New builds a node in the given environment. env.Probe may be nil (no
+// instrumentation); with a probe attached the node registers its CPU metrics
+// and emits compute-burst and communication spans per CPU. The node draws
+// randomness from a private substream derived from env.RNG by its ID, so
+// node construction order never perturbs another node's draws.
+func New(env sim.Env, prm Params) (*Node, error) {
+	k, cfg := env.Kernel, prm.Cfg
+	if k == nil {
+		return nil, fmt.Errorf("node %d: nil kernel in environment", prm.ID)
+	}
+	name := fmt.Sprintf("node%d", prm.ID)
+	hier, err := cache.NewHierarchy(env.WithRNG(env.DeriveRNG(uint64(prm.ID))), name, cfg.Hierarchy)
 	if err != nil {
 		return nil, err
 	}
 	n := &Node{
-		id:        id,
+		id:        prm.ID,
 		k:         k,
 		hier:      hier,
-		nif:       nif,
+		nif:       prm.NIF,
 		taskSinks: make([]*ops.Writer, cfg.Hierarchy.CPUs),
 		lastComm:  make([]pearl.Time, cfg.Hierarchy.CPUs),
 		taskCount: make([]uint64, cfg.Hierarchy.CPUs),
 	}
-	reg := pb.Registry()
-	tl := pb.Timeline()
+	reg := env.Registry()
+	tl := env.Timeline()
 	if tl != nil {
 		n.tl = tl
 		n.cpuTracks = make([]probe.Track, cfg.Hierarchy.CPUs)

@@ -12,6 +12,7 @@ import (
 	"mermaid/internal/ops"
 	"mermaid/internal/pearl"
 	"mermaid/internal/router"
+	"mermaid/internal/sim"
 	"mermaid/internal/topology"
 	"mermaid/internal/trace"
 )
@@ -47,7 +48,7 @@ func netConfig() network.Config {
 
 func TestSharedMemoryNodeTwoCPUs(t *testing.T) {
 	k := pearl.NewKernel()
-	n, err := New(k, 0, nodeConfig(2), nil, pearl.NewRNG(1), nil)
+	n, err := New(sim.Env{Kernel: k, RNG: pearl.NewRNG(1)}, Params{ID: 0, Cfg: nodeConfig(2)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,7 +74,7 @@ func TestSharedMemoryNodeTwoCPUs(t *testing.T) {
 
 func TestCommWithoutNetworkFails(t *testing.T) {
 	k := pearl.NewKernel()
-	n, err := New(k, 0, nodeConfig(1), nil, nil, nil)
+	n, err := New(sim.Env{Kernel: k}, Params{ID: 0, Cfg: nodeConfig(1)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,13 +87,13 @@ func TestCommWithoutNetworkFails(t *testing.T) {
 
 func buildTwoNodeMachine(t *testing.T, k *pearl.Kernel) (*network.Network, []*Node) {
 	t.Helper()
-	net, err := network.New(k, netConfig(), nil)
+	net, err := network.New(sim.Env{Kernel: k}, netConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
 	var nodes []*Node
 	for i := 0; i < 2; i++ {
-		n, err := New(k, i, nodeConfig(1), net.Node(i), pearl.NewRNG(uint64(i+1)), nil)
+		n, err := New(sim.Env{Kernel: k, RNG: pearl.NewRNG(uint64(i + 1))}, Params{ID: i, Cfg: nodeConfig(1), NIF: net.Node(i)})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -236,13 +237,13 @@ func TestExecutionDrivenRecvAnyFeedback(t *testing.T) {
 	k := pearl.NewKernel()
 	cfg := netConfig()
 	cfg.Topology.Nodes = 4
-	net, err := network.New(k, cfg, nil)
+	net, err := network.New(sim.Env{Kernel: k}, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	var nodes []*Node
 	for i := 0; i < 4; i++ {
-		n, err := New(k, i, nodeConfig(1), net.Node(i), nil, nil)
+		n, err := New(sim.Env{Kernel: k}, Params{ID: i, Cfg: nodeConfig(1), NIF: net.Node(i)})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -283,7 +284,7 @@ func TestExecutionDrivenRecvAnyFeedback(t *testing.T) {
 
 func TestNodeStats(t *testing.T) {
 	k := pearl.NewKernel()
-	n, err := New(k, 0, nodeConfig(1), nil, nil, nil)
+	n, err := New(sim.Env{Kernel: k}, Params{ID: 0, Cfg: nodeConfig(1)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -328,7 +329,7 @@ func TestMixedComputeOpInInstructionTrace(t *testing.T) {
 	// A compute(duration) event inside an instruction-level trace advances
 	// time (mixed-abstraction traces are permitted).
 	k := pearl.NewKernel()
-	n, err := New(k, 0, nodeConfig(1), nil, nil, nil)
+	n, err := New(sim.Env{Kernel: k}, Params{ID: 0, Cfg: nodeConfig(1)})
 	if err != nil {
 		t.Fatal(err)
 	}

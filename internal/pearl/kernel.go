@@ -47,6 +47,9 @@ const (
 	// evWake is an idempotent process activation (park/unpark) — no closure
 	// needed.
 	evWake
+	// evDaemon runs a callback closure like evFunc, but the event never keeps
+	// the run alive on its own: Run returns once only daemon events remain.
+	evDaemon
 )
 
 // eventSlot is one entry of the kernel's event slab. Slots are reused through
@@ -82,6 +85,9 @@ func (t Timer) Cancel() bool {
 	if s.gen != t.gen || s.kind < evFunc {
 		return false
 	}
+	if s.kind == evDaemon {
+		t.k.daemons--
+	}
 	s.kind = evCancelled
 	s.fn = nil
 	s.proc = nil
@@ -116,8 +122,9 @@ type Kernel struct {
 	runq     []int32
 	runqHead int
 
-	live  int // queued events that are not cancelled
-	procs []*Process
+	live    int // queued events that are not cancelled
+	daemons int // live events scheduled with AtDaemon
+	procs   []*Process
 
 	// current is the process whose goroutine currently has control, or nil
 	// when the kernel itself (an event callback) is running.
@@ -209,6 +216,21 @@ func (k *Kernel) After(d Time, fn func()) Timer {
 		panic(fmt.Sprintf("pearl: negative delay %d", d))
 	}
 	return k.schedule(k.now+d, evFunc, fn, nil)
+}
+
+// AtDaemon schedules fn at absolute virtual time t like At, except that the
+// event never determines when the simulation ends: it fires in strict
+// (time, sequence) order while non-daemon work remains, but Run returns —
+// leaving it queued, unfired — once only daemon events are left. Background
+// chains (fault schedules, periodic samplers) use this so a plan that
+// outlives the workload cannot extend the run. RunUntil, whose horizon is
+// the caller's and not the schedule's, fires daemon events like any other.
+func (k *Kernel) AtDaemon(t Time, fn func()) Timer {
+	if t < k.now {
+		panic(fmt.Sprintf("pearl: scheduling event at %d, before current time %d", t, k.now))
+	}
+	k.daemons++
+	return k.schedule(t, evDaemon, fn, nil)
 }
 
 // Stop makes Run return after the currently executing event completes.
@@ -337,11 +359,14 @@ func (k *Kernel) step() bool {
 	k.eventCount++
 	k.live--
 	kind, fn, proc := s.kind, s.fn, s.proc
+	if kind == evDaemon {
+		k.daemons--
+	}
 	// Release before firing so the slot is immediately reusable by whatever
 	// the event schedules.
 	k.release(idx)
 	switch kind {
-	case evFunc:
+	case evFunc, evDaemon:
 		fn()
 	case evHold:
 		k.activate(proc)
@@ -352,11 +377,12 @@ func (k *Kernel) step() bool {
 	return true
 }
 
-// Run executes events until the schedule is empty or Stop is called. It
-// returns the final virtual time.
+// Run executes events until the schedule is empty (daemon events alone do
+// not count — they are left queued, unfired) or Stop is called. It returns
+// the final virtual time.
 func (k *Kernel) Run() Time {
 	k.stopped = false
-	for !k.stopped && k.step() {
+	for !k.stopped && k.live > k.daemons && k.step() {
 	}
 	return k.now
 }

@@ -297,3 +297,88 @@ func TestTerminatedWaiterSkipped(t *testing.T) {
 	}
 	_ = mb
 }
+
+func TestDaemonEventFiresAmongRegularWork(t *testing.T) {
+	k := NewKernel()
+	var got []Time
+	k.AtDaemon(10, func() { got = append(got, k.Now()) })
+	k.At(20, func() { got = append(got, k.Now()) })
+	if end := k.Run(); end != 20 {
+		t.Fatalf("run ended at %d, want 20", end)
+	}
+	if len(got) != 2 || got[0] != 10 || got[1] != 20 {
+		t.Fatalf("fired at %v, want [10 20]", got)
+	}
+}
+
+func TestDaemonEventDoesNotExtendRun(t *testing.T) {
+	k := NewKernel()
+	fired := false
+	k.AtDaemon(1000, func() { fired = true })
+	k.At(20, func() {})
+	if end := k.Run(); end != 20 {
+		t.Fatalf("run ended at %d, want 20", end)
+	}
+	if fired {
+		t.Fatal("daemon event beyond the workload fired")
+	}
+	// The daemon is still queued: new work past its time fires it.
+	k.At(2000, func() {})
+	if end := k.Run(); end != 2000 {
+		t.Fatalf("second run ended at %d, want 2000", end)
+	}
+	if !fired {
+		t.Fatal("daemon event not resumed by later work")
+	}
+}
+
+func TestDaemonChainReArmsWithoutExtendingRun(t *testing.T) {
+	// A self-rescheduling daemon chain — the fault-injector shape — fires for
+	// every instant covered by real work and goes quiet with it.
+	k := NewKernel()
+	var fired []Time
+	next := Time(0)
+	var arm func()
+	arm = func() {
+		next += 10
+		k.AtDaemon(next, func() { fired = append(fired, k.Now()); arm() })
+	}
+	arm()
+	k.At(35, func() {})
+	if end := k.Run(); end != 35 {
+		t.Fatalf("run ended at %d, want 35", end)
+	}
+	if len(fired) != 3 || fired[0] != 10 || fired[1] != 20 || fired[2] != 30 {
+		t.Fatalf("daemon chain fired at %v, want [10 20 30]", fired)
+	}
+}
+
+func TestDaemonEventCancel(t *testing.T) {
+	k := NewKernel()
+	fired := false
+	tm := k.AtDaemon(10, func() { fired = true })
+	if !tm.Cancel() {
+		t.Fatal("cancel should succeed")
+	}
+	k.At(20, func() {})
+	if end := k.Run(); end != 20 {
+		t.Fatalf("run ended at %d, want 20", end)
+	}
+	if fired {
+		t.Fatal("cancelled daemon event fired")
+	}
+}
+
+func TestRunUntilFiresDaemonEvents(t *testing.T) {
+	// RunUntil's horizon is the caller's, not the schedule's: daemon events
+	// inside it fire like any other.
+	k := NewKernel()
+	fired := false
+	k.AtDaemon(10, func() { fired = true })
+	if end := k.RunUntil(100); end != 100 {
+		t.Fatalf("run ended at %d, want 100", end)
+	}
+	if !fired {
+		t.Fatal("daemon event within the horizon did not fire")
+	}
+}

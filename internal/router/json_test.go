@@ -1,0 +1,48 @@
+package router
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestConfigJSONRoundTrip(t *testing.T) {
+	for _, cfg := range []Config{
+		{Switching: StoreAndForward, Routing: Minimal, RoutingDelay: 5, MaxPacket: 256, HeaderBytes: 4},
+		{Switching: VirtualCutThrough, Routing: Valiant, RoutingDelay: 2, MaxPacket: 4096, HeaderBytes: 8},
+		{Switching: Wormhole, Routing: Minimal, RoutingDelay: 2, MaxPacket: 4096, HeaderBytes: 8},
+		{Switching: VirtualCutThrough, Routing: Adaptive, RoutingDelay: 1, MaxPacket: 1024, HeaderBytes: 8},
+	} {
+		data, err := json.Marshal(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Config
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatalf("unmarshal %s: %v", data, err)
+		}
+		if back != cfg {
+			t.Errorf("round trip %s: got %+v, want %+v", data, back, cfg)
+		}
+	}
+}
+
+func TestConfigJSONShortNames(t *testing.T) {
+	var cfg Config
+	err := json.Unmarshal([]byte(`{"switching": "wh", "routing": "minimal", "maxPacket": 64}`), &cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Switching != Wormhole || cfg.Routing != Minimal {
+		t.Errorf("short-name parse = %+v", cfg)
+	}
+	for _, bad := range []string{
+		`{"switching": "warp"}`,
+		`{"routing": "teleport"}`,
+		`{"switching": 3}`,
+	} {
+		var c Config
+		if err := json.Unmarshal([]byte(bad), &c); err == nil {
+			t.Errorf("%s accepted", bad)
+		}
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"mermaid/internal/ops"
 	"mermaid/internal/pearl"
 	"mermaid/internal/router"
+	"mermaid/internal/sim"
 	"mermaid/internal/topology"
 )
 
@@ -250,12 +251,12 @@ func TestSyncPatternsRunToCompletion(t *testing.T) {
 					t.Fatal(err)
 				}
 				k := pearl.NewKernel()
-				net, err := network.New(k, network.Config{
+				net, err := network.New(sim.Env{Kernel: k}, network.Config{
 					Topology: topology.Config{Kind: topology.Ring, Nodes: nodes},
 					Router:   router.Config{Switching: router.StoreAndForward, RoutingDelay: 1, MaxPacket: 1024},
 					Link:     network.LinkConfig{BytesPerCycle: 4, PropDelay: 1},
 					AckBytes: 4,
-				}, nil)
+				})
 				if err != nil {
 					t.Fatal(err)
 				}
