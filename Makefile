@@ -37,10 +37,13 @@ experiments:
 
 # Kernel micro-benchmarks plus the end-to-end slowdown benchmarks, six
 # repetitions each so medians are stable; BENCH_kernel.json tracks the
-# before/after summary of the allocation-free kernel work.
+# before/after summary of the allocation-free kernel work and
+# BENCH_analysis.json the measured overhead of the bottleneck engine
+# (BenchmarkAnalyzerOff vs BenchmarkAnalyzerOn).
 bench:
 	go test -run '^$$' -bench . -benchmem -count=6 ./internal/pearl
 	go test -run '^$$' -bench Slowdown -benchmem -count=6 .
+	go test -run '^$$' -bench Analyzer -benchmem -count=6 ./internal/analysis
 
 examples:
 	go run ./examples/quickstart

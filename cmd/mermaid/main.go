@@ -25,6 +25,7 @@ import (
 	"sort"
 	"strings"
 
+	"mermaid/internal/analysis"
 	"mermaid/internal/core"
 	"mermaid/internal/experiments"
 	"mermaid/internal/farm"
@@ -39,6 +40,7 @@ import (
 )
 
 var presets = map[string]func() machine.Config{
+	"t805-2x1":      func() machine.Config { return machine.T805Grid(2, 1) },
 	"t805-2x2":      func() machine.Config { return machine.T805Grid(2, 2) },
 	"t805-4x4":      func() machine.Config { return machine.T805Grid(4, 4) },
 	"t805-8x8":      func() machine.Config { return machine.T805Grid(8, 8) },
@@ -80,6 +82,9 @@ func main() {
 		csv        = flag.Bool("csv", false, "emit experiment tables as CSV")
 		monitor    = flag.Int64("monitor", 0, "sample run-time metrics every N cycles (0 = off)")
 		monitorCSV = flag.String("monitor-csv", "", "write monitor samples to a CSV file")
+
+		reportPath  = flag.String("report", "", "run the bottleneck analysis and write its JSON report to this file")
+		monitorAddr = flag.String("monitor-addr", "", "serve live run state over HTTP on this address (/metrics Prometheus text, /progress JSON)")
 
 		timeline       = flag.String("timeline", "", "write a virtual-time timeline (Chrome trace-event JSON, Perfetto-loadable) to this file")
 		timelineSample = flag.Int("timeline-sample", 1, "keep every Nth timeline event (sampling rate)")
@@ -161,10 +166,19 @@ func main() {
 		if *monitor > 0 {
 			fatal(fmt.Errorf("-monitor samples a single machine; use -repeats 1"))
 		}
-		if *timeline != "" || *metricsOut != "" {
-			fatal(fmt.Errorf("-timeline and -metrics observe a single machine; use -repeats 1"))
+		if *timeline != "" || *metricsOut != "" || *reportPath != "" {
+			fatal(fmt.Errorf("-timeline, -metrics and -report observe a single machine; use -repeats 1"))
 		}
-		if err := runReplicated(os.Stdout, cfg, runName, *repeats, *parallel, runOnce); err != nil {
+		var mon *analysis.Monitor
+		if *monitorAddr != "" {
+			var err error
+			if mon, err = analysis.NewMonitor(*monitorAddr); err != nil {
+				fatal(err)
+			}
+			defer mon.Close()
+			fmt.Fprintf(os.Stderr, "mermaid: monitoring on http://%s (/metrics, /progress)\n", mon.Addr())
+		}
+		if err := runReplicated(os.Stdout, cfg, runName, *repeats, *parallel, mon, runOnce); err != nil {
 			fatal(err)
 		}
 		return
@@ -175,6 +189,9 @@ func main() {
 	if *timeline != "" || *metricsOut != "" {
 		pb = probe.New(probe.Config{Timeline: *timeline != "", SampleEvery: *timelineSample})
 		opts = append(opts, core.WithProbe(pb))
+	}
+	if *reportPath != "" {
+		opts = append(opts, core.WithAnalysis())
 	}
 	wb, err := core.New(cfg, opts...)
 	if err != nil {
@@ -194,10 +211,35 @@ func main() {
 			fatal(err)
 		}
 	}
+	var httpMon *analysis.Monitor
+	if *monitorAddr != "" {
+		if httpMon, err = analysis.NewMonitor(*monitorAddr); err != nil {
+			fatal(err)
+		}
+		defer httpMon.Close()
+		every := pearl.Time(*monitor)
+		if every <= 0 {
+			every = 10000
+		}
+		httpMon.SetRuns(1)
+		httpMon.Watch(m.Kernel(), pb.Registry(), every)
+		fmt.Fprintf(os.Stderr, "mermaid: monitoring on http://%s (/metrics, /progress)\n", httpMon.Addr())
+	}
 
 	res, err := runOnce(m)
 	if err != nil {
 		fatal(err)
+	}
+	httpMon.RunDone()
+	httpMon.Finish()
+	if *reportPath != "" {
+		if res.Analysis == nil {
+			fatal(fmt.Errorf("-report: run produced no analysis"))
+		}
+		if err := writeFileWith(*reportPath, res.Analysis.WriteJSON); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "mermaid: wrote %s\n", *reportPath)
 	}
 	if *timeline != "" {
 		if err := writeFileWith(*timeline, pb.Timeline().WriteJSON); err != nil {
@@ -374,11 +416,18 @@ func runExperimentSet(w io.Writer, exps []experiments.Experiment, csv bool, work
 
 // runReplicated executes the configured run `repeats` times with per-replica
 // derived seeds, farming the replicas across `workers` host goroutines, and
-// reports one row per replica plus batch aggregates.
-func runReplicated(w io.Writer, cfg machine.Config, name string, repeats, workers int, runOnce func(*machine.Machine) (*machine.Result, error)) error {
+// reports one row per replica plus batch aggregates — including the message
+// latency distribution merged across every replica. A non-nil monitor is fed
+// run completions for its /progress endpoint.
+func runReplicated(w io.Writer, cfg machine.Config, name string, repeats, workers int, mon *analysis.Monitor, runOnce func(*machine.Machine) (*machine.Result, error)) error {
 	pool := farm.New(workers)
 	pool.Repeats = repeats
 	pool.Seed = cfg.Seed
+	mon.SetRuns(repeats)
+	pool.OnResult = func(res farm.Result) {
+		mon.ObserveRun(res.Cycles, res.Events)
+		mon.RunDone()
+	}
 	job := farm.Job{Name: name, Run: func(rc *farm.RunContext) (any, error) {
 		c := cfg
 		c.Seed = rc.Seed
@@ -395,9 +444,14 @@ func runReplicated(w io.Writer, cfg machine.Config, name string, repeats, worker
 			return nil, err
 		}
 		rc.ObserveSim(res.Cycles, res.Events)
+		if net := m.Network(); net != nil {
+			h := *net.MessageLatency() // copy: the machine dies with the run
+			return &h, nil
+		}
 		return nil, nil
 	}}
 	rep := pool.Run([]farm.Job{job})
+	mon.Finish()
 	fmt.Fprintf(w, "%d replications of %s (%s), seeds derived from %d:\n", repeats, name, cfg.Name, cfg.Seed)
 	if err := rep.Table().Render(w); err != nil {
 		return err
@@ -405,6 +459,18 @@ func runReplicated(w io.Writer, cfg machine.Config, name string, repeats, worker
 	fmt.Fprintln(w)
 	if err := stats.RenderSet(w, rep.Summary()); err != nil {
 		return err
+	}
+	// Aggregate latency across replicas instead of dropping all but the first:
+	// bucket-wise histogram merging keeps min/max/mean exact over the batch.
+	var agg stats.Histogram
+	for _, v := range rep.Values() {
+		if h, ok := v.(*stats.Histogram); ok {
+			agg.Merge(h)
+		}
+	}
+	if agg.Count() > 0 {
+		fmt.Fprintf(w, "message latency over all replicas: mean %.1f cyc, min %d, max %d (%d messages)\n",
+			agg.Mean(), agg.Min(), agg.Max(), agg.Count())
 	}
 	return rep.Errs()
 }

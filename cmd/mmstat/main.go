@@ -7,13 +7,16 @@
 //
 //	mmstat traces/node0.mmt traces/node1.mmt
 //	mmstat -chart traces/node0.mmt
+//	mmstat -matrix -json traces/node*.mmt
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 
 	"mermaid/internal/ops"
 	"mermaid/internal/stats"
@@ -22,29 +25,43 @@ import (
 func main() {
 	chart := flag.Bool("chart", false, "render operation mix as a bar chart")
 	matrix := flag.Bool("matrix", false, "render the src -> dst communication matrix (file order = node rank)")
+	jsonOut := flag.Bool("json", false, "with -matrix: emit the communication matrix as JSON instead of a table")
 	flag.Parse()
 	if flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: mmstat [-chart] [-matrix] trace.mmt ...")
+		fmt.Fprintln(os.Stderr, "usage: mmstat [-chart] [-matrix [-json]] trace.mmt ...")
 		os.Exit(2)
 	}
-	for _, path := range flag.Args() {
-		if err := analyze(path, *chart); err != nil {
-			fmt.Fprintf(os.Stderr, "mmstat: %s: %v\n", path, err)
-			os.Exit(1)
+	if !*matrix {
+		for _, path := range flag.Args() {
+			if err := analyze(path, *chart); err != nil {
+				fmt.Fprintf(os.Stderr, "mmstat: %s: %v\n", path, err)
+				os.Exit(1)
+			}
+		}
+		return
+	}
+	if !*jsonOut {
+		for _, path := range flag.Args() {
+			if err := analyze(path, *chart); err != nil {
+				fmt.Fprintf(os.Stderr, "mmstat: %s: %v\n", path, err)
+				os.Exit(1)
+			}
 		}
 	}
-	if *matrix {
-		if err := commMatrix(os.Stdout, flag.Args()); err != nil {
-			fmt.Fprintf(os.Stderr, "mmstat: %v\n", err)
-			os.Exit(1)
-		}
+	render := commMatrix
+	if *jsonOut {
+		render = commMatrixJSON
+	}
+	if err := render(os.Stdout, flag.Args()); err != nil {
+		fmt.Fprintf(os.Stderr, "mmstat: %v\n", err)
+		os.Exit(1)
 	}
 }
 
-// commMatrix aggregates sends across all traces into a bytes-sent matrix.
+// buildMatrix aggregates sends across all traces into a bytes-sent matrix.
 // Any unreadable trace — including one with a truncated or corrupt trailing
 // record — fails the whole matrix rather than reporting partial counts.
-func commMatrix(w io.Writer, paths []string) error {
+func buildMatrix(paths []string) ([][]uint64, error) {
 	n := len(paths)
 	m := make([][]uint64, n)
 	for i := range m {
@@ -52,9 +69,19 @@ func commMatrix(w io.Writer, paths []string) error {
 	}
 	for src, path := range paths {
 		if err := tallySends(path, m[src], n); err != nil {
-			return err
+			return nil, err
 		}
 	}
+	return m, nil
+}
+
+// commMatrix renders the bytes-sent matrix as a human-readable table.
+func commMatrix(w io.Writer, paths []string) error {
+	m, err := buildMatrix(paths)
+	if err != nil {
+		return err
+	}
+	n := len(paths)
 	fmt.Fprintln(w, "communication matrix (bytes sent, rows = source rank):")
 	header := make([]string, n+1)
 	header[0] = "src\\dst"
@@ -71,6 +98,31 @@ func commMatrix(w io.Writer, paths []string) error {
 		tb.Row(row...)
 	}
 	return tb.Render(w)
+}
+
+// commMatrixJSON renders the bytes-sent matrix as deterministic, indented
+// JSON for downstream tooling: trace base names in rank order plus the full
+// src-major matrix.
+func commMatrixJSON(w io.Writer, paths []string) error {
+	m, err := buildMatrix(paths)
+	if err != nil {
+		return err
+	}
+	doc := struct {
+		Nodes     int        `json:"nodes"`
+		Traces    []string   `json:"traces"`
+		BytesSent [][]uint64 `json:"bytesSent"`
+	}{Nodes: len(paths), Traces: make([]string, len(paths)), BytesSent: m}
+	for i, p := range paths {
+		doc.Traces[i] = filepath.Base(p)
+	}
+	data, err := json.MarshalIndent(&doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
 }
 
 // tallySends accumulates one trace's sent bytes per destination into row.

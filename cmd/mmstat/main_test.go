@@ -2,8 +2,10 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -73,5 +75,48 @@ func TestCommMatrixRejectsTruncatedTrace(t *testing.T) {
 		t.Fatal("commMatrix accepted a truncated trailing record")
 	} else if !strings.Contains(err.Error(), "bad.mmt") {
 		t.Errorf("error does not name the corrupt file: %v", err)
+	}
+}
+
+// The -json matrix mode emits the same aggregation as the table, as
+// machine-readable JSON with trace names in rank order.
+func TestCommMatrixJSON(t *testing.T) {
+	dir := t.TempDir()
+	p0 := writeTrace(t, dir, "node0.mmt", []ops.Op{
+		ops.NewSend(100, 1, 0),
+		ops.NewSend(28, 1, 1),
+	})
+	p1 := writeTrace(t, dir, "node1.mmt", []ops.Op{
+		ops.NewSend(256, 0, 0),
+	})
+	var out bytes.Buffer
+	if err := commMatrixJSON(&out, []string{p0, p1}); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Nodes     int        `json:"nodes"`
+		Traces    []string   `json:"traces"`
+		BytesSent [][]uint64 `json:"bytesSent"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &doc); err != nil {
+		t.Fatalf("matrix JSON invalid: %v\n%s", err, out.String())
+	}
+	if doc.Nodes != 2 {
+		t.Errorf("nodes = %d, want 2", doc.Nodes)
+	}
+	if len(doc.Traces) != 2 || doc.Traces[0] != "node0.mmt" || doc.Traces[1] != "node1.mmt" {
+		t.Errorf("traces = %v, want base names in rank order", doc.Traces)
+	}
+	want := [][]uint64{{0, 128}, {256, 0}}
+	if !reflect.DeepEqual(doc.BytesSent, want) {
+		t.Errorf("bytesSent = %v, want %v", doc.BytesSent, want)
+	}
+	// Deterministic: a second export is byte-identical.
+	var out2 bytes.Buffer
+	if err := commMatrixJSON(&out2, []string{p0, p1}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.Bytes(), out2.Bytes()) {
+		t.Error("matrix JSON differs between calls")
 	}
 }

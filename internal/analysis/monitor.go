@@ -1,0 +1,234 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"mermaid/internal/pearl"
+	"mermaid/internal/probe"
+)
+
+// Monitor serves live run state over HTTP while a simulation executes:
+// GET /metrics returns the probe registry in Prometheus text exposition
+// format, GET /progress returns a JSON snapshot of virtual time, wall time,
+// event throughput and experiment completion.
+//
+// The simulation goroutine owns the kernel and registry; the monitor never
+// touches them from handler goroutines. Instead Watch installs a daemon event
+// that periodically copies the interesting values into a mutex-protected
+// snapshot, and the HTTP handlers serve from that snapshot. Daemon events
+// never keep a run alive, so an attached monitor does not perturb
+// termination — or any other aspect of the simulation's virtual time.
+//
+// A nil *Monitor is the disabled monitor: every method no-ops without
+// allocating.
+type Monitor struct {
+	ln  net.Listener
+	srv *http.Server
+
+	mu   sync.Mutex
+	snap snapshot
+
+	started time.Time
+}
+
+// snapshot is what the handlers may read: plain values copied out of the
+// simulation on its own goroutine.
+type snapshot struct {
+	virtual   int64
+	events    uint64
+	metrics   []metricSample
+	runsDone  int
+	runsTotal int
+	finished  bool
+}
+
+type metricSample struct {
+	name  string
+	unit  string
+	value float64
+}
+
+// progressJSON is the wire format of GET /progress.
+type progressJSON struct {
+	VirtualCycles int64   `json:"virtualCycles"`
+	Events        uint64  `json:"events"`
+	EventsPerSec  float64 `json:"eventsPerSec"`
+	WallSeconds   float64 `json:"wallSeconds"`
+	RunsDone      int     `json:"runsDone"`
+	RunsTotal     int     `json:"runsTotal"`
+	Done          bool    `json:"done"`
+}
+
+// NewMonitor starts serving on addr (host:port; port 0 picks a free port).
+// Returns an error if the address cannot be bound.
+func NewMonitor(addr string) (*Monitor, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	m := &Monitor{ln: ln, started: time.Now()}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", m.handleMetrics)
+	mux.HandleFunc("/progress", m.handleProgress)
+	m.srv = &http.Server{Handler: mux}
+	go m.srv.Serve(ln) //nolint:errcheck // closed via Close
+	return m, nil
+}
+
+// Addr returns the bound address, e.g. "127.0.0.1:41373".
+func (m *Monitor) Addr() string {
+	if m == nil {
+		return ""
+	}
+	return m.ln.Addr().String()
+}
+
+// Watch installs a self-rescheduling daemon event on the kernel that samples
+// the kernel and registry every `every` cycles of virtual time. Call from the
+// simulation goroutine before Run.
+func (m *Monitor) Watch(k *pearl.Kernel, reg *probe.Registry, every pearl.Time) {
+	if m == nil || k == nil || every <= 0 {
+		return
+	}
+	var tick func()
+	tick = func() {
+		m.sample(k, reg)
+		k.AtDaemon(k.Now()+every, tick)
+	}
+	k.AtDaemon(k.Now()+every, tick)
+}
+
+// sample copies the current kernel and registry state into the snapshot.
+// Must run on the simulation goroutine.
+func (m *Monitor) sample(k *pearl.Kernel, reg *probe.Registry) {
+	if m == nil {
+		return
+	}
+	var ms []metricSample
+	if n := reg.Len(); n > 0 {
+		ms = make([]metricSample, 0, n)
+		for _, e := range reg.Entries() {
+			ms = append(ms, metricSample{name: e.Name, unit: e.Unit, value: e.Read()})
+		}
+	}
+	m.mu.Lock()
+	m.snap.virtual = int64(k.Now())
+	m.snap.events = k.EventCount()
+	m.snap.metrics = ms
+	m.mu.Unlock()
+}
+
+// ObserveRun accumulates a completed run's simulated volume into the
+// snapshot — the farm path's progress feed, where no single kernel can be
+// watched. Safe to call from worker goroutines.
+func (m *Monitor) ObserveRun(cycles pearl.Time, events uint64) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.snap.virtual += int64(cycles)
+	m.snap.events += events
+	m.mu.Unlock()
+}
+
+// SetRuns declares how many runs (experiments × repeats) the invocation will
+// execute, for the completion fraction in /progress.
+func (m *Monitor) SetRuns(n int) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.snap.runsTotal = n
+	m.mu.Unlock()
+}
+
+// RunDone marks one run complete. Safe to call from farm worker goroutines.
+func (m *Monitor) RunDone() {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.snap.runsDone++
+	m.mu.Unlock()
+}
+
+// Finish marks the whole invocation complete; /progress reports done:true.
+func (m *Monitor) Finish() {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.snap.finished = true
+	m.mu.Unlock()
+}
+
+// Close shuts the HTTP server down. Safe on nil.
+func (m *Monitor) Close() error {
+	if m == nil {
+		return nil
+	}
+	return m.srv.Close()
+}
+
+// promName converts a dotted registry metric name to a Prometheus-legal one.
+func promName(name string) string {
+	var b strings.Builder
+	b.WriteString("mermaid_")
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+func (m *Monitor) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	m.mu.Lock()
+	ms := make([]metricSample, len(m.snap.metrics))
+	copy(ms, m.snap.metrics)
+	virtual := m.snap.virtual
+	events := m.snap.events
+	m.mu.Unlock()
+
+	sort.SliceStable(ms, func(i, j int) bool { return ms[i].name < ms[j].name })
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	fmt.Fprintf(w, "# TYPE mermaid_virtual_cycles gauge\nmermaid_virtual_cycles %d\n", virtual)
+	fmt.Fprintf(w, "# TYPE mermaid_events_total counter\nmermaid_events_total %d\n", events)
+	for _, s := range ms {
+		n := promName(s.name)
+		if s.unit != "" {
+			fmt.Fprintf(w, "# HELP %s unit: %s\n", n, s.unit)
+		}
+		fmt.Fprintf(w, "# TYPE %s gauge\n%s %g\n", n, n, s.value)
+	}
+}
+
+func (m *Monitor) handleProgress(w http.ResponseWriter, _ *http.Request) {
+	m.mu.Lock()
+	p := progressJSON{
+		VirtualCycles: m.snap.virtual,
+		Events:        m.snap.events,
+		RunsDone:      m.snap.runsDone,
+		RunsTotal:     m.snap.runsTotal,
+		Done:          m.snap.finished,
+	}
+	m.mu.Unlock()
+	p.WallSeconds = time.Since(m.started).Seconds()
+	if p.WallSeconds > 0 {
+		p.EventsPerSec = float64(p.Events) / p.WallSeconds
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(p) //nolint:errcheck // best-effort over HTTP
+}

@@ -1,0 +1,265 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"mermaid/internal/pearl"
+	"mermaid/internal/stats"
+)
+
+// CPUDecomp is one processor's virtual-time decomposition. The four classes
+// partition the run: Compute + MemStall + CommBlocked + Idle == Cycles of
+// the report, exactly, for every CPU.
+type CPUDecomp struct {
+	Name        string `json:"name"`
+	Compute     int64  `json:"compute"`
+	MemStall    int64  `json:"memStall"`
+	CommBlocked int64  `json:"commBlocked"`
+	Idle        int64  `json:"idle"`
+}
+
+// ResourceRow is one shared resource's utilization and queue-wait summary.
+type ResourceRow struct {
+	Kind        string  `json:"kind"`
+	Name        string  `json:"name"`
+	Capacity    int     `json:"capacity"`
+	Busy        int64   `json:"busy"`
+	Wait        int64   `json:"wait"`
+	Acquires    uint64  `json:"acquires"`
+	Utilization float64 `json:"utilization"`
+	AvgWait     float64 `json:"avgWait"`
+}
+
+// WaitRow aggregates kernel-traced blocked intervals by block reason.
+type WaitRow struct {
+	Reason string `json:"reason"`
+	Cycles int64  `json:"cycles"`
+	Count  uint64 `json:"count"`
+}
+
+// PathSegment attributes part of the end-to-end runtime to one component.
+// Segments of one report sum exactly to the run length.
+type PathSegment struct {
+	Component string  `json:"component"`
+	Kind      string  `json:"kind"` // compute | send | recv wait | network | idle
+	Cycles    int64   `json:"cycles"`
+	Pct       float64 `json:"pct"`
+}
+
+// Bottleneck is one ranked entry of the summary.
+type Bottleneck struct {
+	Rank      int     `json:"rank"`
+	Component string  `json:"component"`
+	Score     float64 `json:"score"`
+	Detail    string  `json:"detail"`
+}
+
+// Report is the complete bottleneck analysis of one run. All fields are
+// derived from virtual-time measurements only, so a report is deterministic:
+// the same configuration and workload produce a byte-identical report at any
+// farm worker count.
+type Report struct {
+	Machine      string        `json:"machine"`
+	Cycles       int64         `json:"cycles"`
+	CPUs         []CPUDecomp   `json:"cpus"`
+	Resources    []ResourceRow `json:"resources"`
+	Waits        []WaitRow     `json:"waits"`
+	CriticalPath []PathSegment `json:"criticalPath"`
+	Bottlenecks  []Bottleneck  `json:"bottlenecks"`
+}
+
+// TopN is how many entries the ranked bottleneck summary keeps.
+const TopN = 8
+
+// round6 quantises derived ratios so the JSON export is stable and readable;
+// the underlying integer cycle counts stay exact.
+func round6(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	return math.Round(v*1e6) / 1e6
+}
+
+// Analyze folds everything the collector saw into a report for a run of the
+// given length. Call after the simulation has completed.
+func (c *Collector) Analyze(total pearl.Time) *Report {
+	if c == nil {
+		return nil
+	}
+	r := &Report{Machine: c.machine, Cycles: int64(total)}
+
+	cpus := make([]cpuEntry, len(c.cpus))
+	copy(cpus, c.cpus)
+	sort.SliceStable(cpus, func(i, j int) bool { return cpus[i].index < cpus[j].index })
+	for _, e := range cpus {
+		s := e.sample()
+		d := CPUDecomp{
+			Name:        e.name,
+			Compute:     int64(s.Compute),
+			MemStall:    int64(s.MemStall),
+			CommBlocked: int64(s.CommBlocked),
+		}
+		// The identity that makes the decomposition trustworthy: idle is the
+		// exact remainder, so the four classes always sum to the run length.
+		d.Idle = int64(total) - d.Compute - d.MemStall - d.CommBlocked
+		r.CPUs = append(r.CPUs, d)
+	}
+
+	for _, e := range c.resources {
+		s := e.sample()
+		row := ResourceRow{
+			Kind:     e.kind,
+			Name:     e.name,
+			Capacity: e.capacity,
+			Busy:     int64(s.Busy),
+			Wait:     int64(s.Wait),
+			Acquires: s.Acquires,
+		}
+		if total > 0 && e.capacity > 0 {
+			row.Utilization = round6(float64(s.Busy) / (float64(e.capacity) * float64(total)))
+		}
+		if s.Acquires > 0 {
+			row.AvgWait = round6(float64(s.Wait) / float64(s.Acquires))
+		}
+		r.Resources = append(r.Resources, row)
+	}
+
+	for _, b := range c.blocked {
+		r.Waits = append(r.Waits, WaitRow{Reason: b.reason, Cycles: int64(b.cycles), Count: b.count})
+	}
+	sort.SliceStable(r.Waits, func(i, j int) bool {
+		if r.Waits[i].Cycles != r.Waits[j].Cycles {
+			return r.Waits[i].Cycles > r.Waits[j].Cycles
+		}
+		return r.Waits[i].Reason < r.Waits[j].Reason
+	})
+
+	r.CriticalPath = c.criticalPath(total)
+	r.Bottlenecks = r.rank()
+	return r
+}
+
+// rank builds the top-N bottleneck summary from the report's own tables:
+// shared resources score by utilization plus their queueing share of the run,
+// CPUs by the fraction of the run they were not computing.
+func (r *Report) rank() []Bottleneck {
+	total := float64(r.Cycles)
+	if total <= 0 {
+		total = 1
+	}
+	var cand []Bottleneck
+	for _, res := range r.Resources {
+		score := res.Utilization + float64(res.Wait)/total
+		cand = append(cand, Bottleneck{
+			Component: res.Name,
+			Score:     round6(score),
+			Detail: fmt.Sprintf("%s at %.1f%% utilization, %.1f cyc avg wait over %d acquires",
+				res.Kind, res.Utilization*100, res.AvgWait, res.Acquires),
+		})
+	}
+	for _, d := range r.CPUs {
+		stalled := float64(d.MemStall+d.CommBlocked) / total
+		cand = append(cand, Bottleneck{
+			Component: d.Name,
+			Score:     round6(stalled),
+			Detail: fmt.Sprintf("cpu stalled %.1f%% (%.1f%% memory, %.1f%% communication), computing %.1f%%",
+				stalled*100, float64(d.MemStall)/total*100,
+				float64(d.CommBlocked)/total*100, float64(d.Compute)/total*100),
+		})
+	}
+	sort.SliceStable(cand, func(i, j int) bool {
+		if cand[i].Score != cand[j].Score {
+			return cand[i].Score > cand[j].Score
+		}
+		return cand[i].Component < cand[j].Component
+	})
+	if len(cand) > TopN {
+		cand = cand[:TopN]
+	}
+	for i := range cand {
+		cand[i].Rank = i + 1
+	}
+	return cand
+}
+
+// WriteJSON writes the report as deterministic, indented JSON.
+func (r *Report) WriteJSON(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}
+
+// Render writes the human-readable bottleneck section appended to the text
+// report.
+func (r *Report) Render(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	total := float64(r.Cycles)
+	if total <= 0 {
+		total = 1
+	}
+	fmt.Fprintf(w, "bottleneck analysis (%d cycles)\n\n", r.Cycles)
+
+	fmt.Fprintln(w, "per-CPU time decomposition:")
+	tb := stats.NewTable("cpu", "compute", "mem-stall", "comm-blocked", "idle", "busy%")
+	for _, d := range r.CPUs {
+		tb.Row(d.Name, d.Compute, d.MemStall, d.CommBlocked, d.Idle,
+			round6(float64(d.Compute+d.MemStall)/total*100))
+	}
+	if err := tb.Render(w); err != nil {
+		return err
+	}
+
+	if len(r.Resources) > 0 {
+		fmt.Fprintln(w, "\nshared resources:")
+		rows := make([]ResourceRow, len(r.Resources))
+		copy(rows, r.Resources)
+		sort.SliceStable(rows, func(i, j int) bool {
+			if rows[i].Utilization != rows[j].Utilization {
+				return rows[i].Utilization > rows[j].Utilization
+			}
+			return rows[i].Name < rows[j].Name
+		})
+		if len(rows) > 12 {
+			rows = rows[:12]
+		}
+		tb = stats.NewTable("kind", "resource", "utilization", "avg wait", "acquires")
+		for _, res := range rows {
+			tb.Row(res.Kind, res.Name, res.Utilization, res.AvgWait, int64(res.Acquires))
+		}
+		if err := tb.Render(w); err != nil {
+			return err
+		}
+	}
+
+	if len(r.CriticalPath) > 0 {
+		fmt.Fprintln(w, "\ncritical path:")
+		tb = stats.NewTable("component", "kind", "cycles", "%")
+		for _, seg := range r.CriticalPath {
+			tb.Row(seg.Component, seg.Kind, seg.Cycles, seg.Pct)
+		}
+		if err := tb.Render(w); err != nil {
+			return err
+		}
+	}
+
+	if len(r.Bottlenecks) > 0 {
+		fmt.Fprintln(w, "\ntop bottlenecks:")
+		for _, b := range r.Bottlenecks {
+			fmt.Fprintf(w, "  %d. %-24s %s\n", b.Rank, b.Component, b.Detail)
+		}
+	}
+	return nil
+}

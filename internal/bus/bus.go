@@ -10,6 +10,7 @@ package bus
 import (
 	"fmt"
 
+	"mermaid/internal/analysis"
 	"mermaid/internal/pearl"
 	"mermaid/internal/probe"
 	"mermaid/internal/stats"
@@ -91,10 +92,12 @@ type Bus struct {
 	started []pearl.Time
 }
 
-// New creates an interconnect on kernel k. pb may be nil (no
+// New creates an interconnect on kernel k. pb and col may be nil (no
 // instrumentation); with a probe attached the bus registers its traffic
-// counters and emits one "txn" span per transaction and channel.
-func New(k *pearl.Kernel, name string, cfg Config, pb *probe.Probe) *Bus {
+// counters and emits one "txn" span per transaction and channel; with a
+// collector attached every channel contributes busy/wait accounting to the
+// bottleneck analysis.
+func New(k *pearl.Kernel, name string, cfg Config, pb *probe.Probe, col *analysis.Collector) *Bus {
 	cfg.sanitize()
 	n := 1
 	if cfg.Kind == KindCrossbar {
@@ -102,7 +105,9 @@ func New(k *pearl.Kernel, name string, cfg Config, pb *probe.Probe) *Bus {
 	}
 	b := &Bus{cfg: cfg, k: k}
 	for i := 0; i < n; i++ {
-		b.chans = append(b.chans, k.NewResource(fmt.Sprintf("%s.%d", name, i), 1))
+		ch := k.NewResource(fmt.Sprintf("%s.%d", name, i), 1)
+		b.chans = append(b.chans, ch)
+		col.Resource("bus", ch)
 	}
 	reg := pb.Registry()
 	reg.Counter(name+".transactions", &b.transactions)

@@ -8,7 +8,7 @@ import (
 
 func TestTransferTime(t *testing.T) {
 	k := pearl.NewKernel()
-	b := New(k, "bus", Config{Width: 8, ArbitrationDelay: 1}, nil)
+	b := New(k, "bus", Config{Width: 8, ArbitrationDelay: 1}, nil, nil)
 	if got := b.TransferTime(64); got != 8 {
 		t.Fatalf("64B = %d cycles, want 8", got)
 	}
@@ -19,7 +19,7 @@ func TestTransferTime(t *testing.T) {
 
 func TestArbitrationSerialises(t *testing.T) {
 	k := pearl.NewKernel()
-	b := New(k, "bus", Config{Width: 8, ArbitrationDelay: 1}, nil)
+	b := New(k, "bus", Config{Width: 8, ArbitrationDelay: 1}, nil, nil)
 	var t1, t2 pearl.Time
 	k.Spawn("a", func(p *pearl.Process) { b.Transact(p, 0, 64, nil); t1 = p.Now() })
 	k.Spawn("b", func(p *pearl.Process) { b.Transact(p, 0, 64, nil); t2 = p.Now() })
@@ -35,7 +35,7 @@ func TestArbitrationSerialises(t *testing.T) {
 
 func TestTransactBodyRunsWhileHolding(t *testing.T) {
 	k := pearl.NewKernel()
-	b := New(k, "bus", Config{Width: 8, ArbitrationDelay: 0}, nil)
+	b := New(k, "bus", Config{Width: 8, ArbitrationDelay: 0}, nil, nil)
 	var bodyRan bool
 	k.Spawn("a", func(p *pearl.Process) {
 		b.Transact(p, 0, 8, func() {
@@ -54,7 +54,7 @@ func TestTransactBodyRunsWhileHolding(t *testing.T) {
 
 func TestSanitize(t *testing.T) {
 	k := pearl.NewKernel()
-	b := New(k, "bus", Config{}, nil) // zero width must not divide by zero
+	b := New(k, "bus", Config{}, nil, nil) // zero width must not divide by zero
 	if b.TransferTime(8) != 1 {
 		t.Fatalf("default width transfer = %d", b.TransferTime(8))
 	}
@@ -62,7 +62,7 @@ func TestSanitize(t *testing.T) {
 
 func TestStats(t *testing.T) {
 	k := pearl.NewKernel()
-	b := New(k, "bus", DefaultConfig(), nil)
+	b := New(k, "bus", DefaultConfig(), nil, nil)
 	k.Spawn("a", func(p *pearl.Process) { b.Transact(p, 0, 16, nil) })
 	k.Run()
 	s := b.Stats()
@@ -73,7 +73,7 @@ func TestStats(t *testing.T) {
 
 func TestCrossbarParallelism(t *testing.T) {
 	k := pearl.NewKernel()
-	b := New(k, "xbar", Config{Kind: KindCrossbar, Width: 8, ArbitrationDelay: 1, Banks: 4, InterleaveBytes: 64}, nil)
+	b := New(k, "xbar", Config{Kind: KindCrossbar, Width: 8, ArbitrationDelay: 1, Banks: 4, InterleaveBytes: 64}, nil, nil)
 	var t1, t2 pearl.Time
 	// Different banks: concurrent.
 	k.Spawn("a", func(p *pearl.Process) { b.Transact(p, 0, 64, nil); t1 = p.Now() })
@@ -86,7 +86,7 @@ func TestCrossbarParallelism(t *testing.T) {
 
 func TestCrossbarSameBankSerialises(t *testing.T) {
 	k := pearl.NewKernel()
-	b := New(k, "xbar", Config{Kind: KindCrossbar, Width: 8, ArbitrationDelay: 1, Banks: 4, InterleaveBytes: 64}, nil)
+	b := New(k, "xbar", Config{Kind: KindCrossbar, Width: 8, ArbitrationDelay: 1, Banks: 4, InterleaveBytes: 64}, nil, nil)
 	var t1, t2 pearl.Time
 	// Same bank (64-byte interleave, banks 4: addresses 0 and 256 share bank 0).
 	k.Spawn("a", func(p *pearl.Process) { b.Transact(p, 0, 64, nil); t1 = p.Now() })
@@ -99,10 +99,10 @@ func TestCrossbarSameBankSerialises(t *testing.T) {
 
 func TestBroadcast(t *testing.T) {
 	k := pearl.NewKernel()
-	if !New(k, "b", DefaultConfig(), nil).Broadcast() {
+	if !New(k, "b", DefaultConfig(), nil, nil).Broadcast() {
 		t.Fatal("bus must be a broadcast medium")
 	}
-	if New(k, "x", Config{Kind: KindCrossbar, Banks: 2}, nil).Broadcast() {
+	if New(k, "x", Config{Kind: KindCrossbar, Banks: 2}, nil, nil).Broadcast() {
 		t.Fatal("crossbar must not claim broadcast")
 	}
 }

@@ -220,8 +220,8 @@ func NewHierarchy(env sim.Env, name string, cfg HierarchyConfig) (*Hierarchy, er
 	h := &Hierarchy{
 		cfg:   cfg,
 		k:     k,
-		bus:   bus.New(k, name+".bus", cfg.Bus, pb),
-		mem:   memory.New(k, name+".mem", cfg.Memory, pb),
+		bus:   bus.New(k, name+".bus", cfg.Bus, pb, env.Collect),
+		mem:   memory.New(k, name+".mem", cfg.Memory, pb, env.Collect),
 		outer: len(cfg.Private) - 1,
 		dir:   make(map[uint64]*dirEntry),
 	}
@@ -272,6 +272,7 @@ func NewHierarchy(env sim.Env, name string, cfg HierarchyConfig) (*Hierarchy, er
 	if cfg.StoreBuffer > 0 {
 		for cpu := 0; cpu < cfg.CPUs; cpu++ {
 			slots := k.NewResource(fmt.Sprintf("%s.cpu%d.sb", name, cpu), cfg.StoreBuffer)
+			env.Collect.Resource("storebuf", slots)
 			queue := k.NewMailbox(fmt.Sprintf("%s.cpu%d.sbq", name, cpu))
 			h.sbSlots = append(h.sbSlots, slots)
 			h.sbQueue = append(h.sbQueue, queue)

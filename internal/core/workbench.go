@@ -16,6 +16,7 @@ import (
 	"io"
 	"os"
 
+	"mermaid/internal/analysis"
 	"mermaid/internal/fault"
 	"mermaid/internal/machine"
 	"mermaid/internal/probe"
@@ -29,8 +30,9 @@ import (
 // per run (models are single-use: statistics accumulate over one
 // simulation).
 type Workbench struct {
-	cfg machine.Config
-	pb  *probe.Probe
+	cfg     machine.Config
+	pb      *probe.Probe
+	analyze bool
 }
 
 // Option customises a workbench.
@@ -41,6 +43,14 @@ type Option func(*Workbench)
 // carries a timeline, records span events into it.
 func WithProbe(pb *probe.Probe) Option {
 	return func(w *Workbench) { w.pb = pb }
+}
+
+// WithAnalysis enables the bottleneck analysis engine: every machine the
+// workbench builds registers uniform busy/wait accounting with a fresh
+// collector (one per run — models are single-use), and run results carry the
+// bottleneck Report, which Report appends to the text output.
+func WithAnalysis() Option {
+	return func(w *Workbench) { w.analyze = true }
 }
 
 // New creates a workbench for the given machine configuration.
@@ -78,7 +88,11 @@ func (w *Workbench) SetFaults(s *fault.Schedule) { w.cfg.Faults = s }
 
 // Build instantiates a fresh machine model in a fresh environment.
 func (w *Workbench) Build() (*machine.Machine, error) {
-	return machine.Build(sim.NewEnv(w.cfg.Seed, w.pb), w.cfg)
+	env := sim.NewEnv(w.cfg.Seed, w.pb)
+	if w.analyze {
+		env = env.WithCollector(analysis.New())
+	}
+	return machine.Build(env, w.cfg)
 }
 
 // RunProgram executes an instrumented, execution-driven program on a fresh
@@ -143,5 +157,12 @@ func (w *Workbench) Report(out io.Writer, res *machine.Result) error {
 	fmt.Fprintf(out, "slowdown/proc:  %.1f (at 1 GHz host), %.1f (at the paper's 143 MHz host)\n",
 		res.SlowdownPerProcessor(1e9), res.SlowdownPerProcessor(143e6))
 	fmt.Fprintln(out)
-	return stats.RenderSet(out, res.Stats)
+	if err := stats.RenderSet(out, res.Stats); err != nil {
+		return err
+	}
+	if res.Analysis != nil {
+		fmt.Fprintln(out)
+		return res.Analysis.Render(out)
+	}
+	return nil
 }

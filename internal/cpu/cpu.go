@@ -87,9 +87,10 @@ type CPU struct {
 	timing Timing
 	port   *cache.Port
 
-	counts [ops.NumKinds + 1]stats.Counter
-	instrs uint64
-	busy   pearl.Time
+	counts   [ops.NumKinds + 1]stats.Counter
+	instrs   uint64
+	busy     pearl.Time
+	memStall pearl.Time
 }
 
 // New creates a CPU with the given timing, issuing memory accesses through
@@ -108,6 +109,11 @@ func (c *CPU) Instructions() uint64 { return c.instrs }
 // BusyCycles returns the total simulated time spent executing operations.
 func (c *CPU) BusyCycles() pearl.Time { return c.busy }
 
+// MemStallCycles returns the part of BusyCycles spent inside the memory
+// hierarchy (loads, stores and instruction fetches, including cache misses
+// and bus/DRAM queueing). BusyCycles minus MemStallCycles is pure compute.
+func (c *CPU) MemStallCycles() pearl.Time { return c.memStall }
+
 // Count returns how many operations of the given kind were executed.
 func (c *CPU) Count(k ops.Kind) uint64 { return c.counts[k].Value() }
 
@@ -122,9 +128,9 @@ func (c *CPU) Exec(p *pearl.Process, o ops.Op) error {
 	start := p.Now()
 	switch o.Kind {
 	case ops.Load:
-		c.port.Access(p, cache.Read, o.Addr, o.Mem.Size())
+		c.access(p, cache.Read, o.Addr, o.Mem.Size())
 	case ops.Store:
-		c.port.Access(p, cache.Write, o.Addr, o.Mem.Size())
+		c.access(p, cache.Write, o.Addr, o.Mem.Size())
 	case ops.LoadConst:
 		c.hold(p, c.timing.LoadConst.forType(o.Data))
 	case ops.Add:
@@ -136,7 +142,7 @@ func (c *CPU) Exec(p *pearl.Process, o ops.Op) error {
 	case ops.Div:
 		c.hold(p, c.timing.Div.forType(o.Data))
 	case ops.IFetch:
-		c.port.Access(p, cache.Fetch, o.Addr, uint64(c.timing.FetchBytes))
+		c.access(p, cache.Fetch, o.Addr, uint64(c.timing.FetchBytes))
 	case ops.Branch:
 		c.hold(p, c.timing.Branch)
 	case ops.Call:
@@ -154,6 +160,14 @@ func (c *CPU) hold(p *pearl.Process, d pearl.Time) {
 	if d > 0 {
 		p.Hold(d)
 	}
+}
+
+// access issues a memory-hierarchy access and attributes its full latency to
+// the memory-stall class of the CPU's time decomposition.
+func (c *CPU) access(p *pearl.Process, k cache.AccessKind, addr, size uint64) {
+	start := p.Now()
+	c.port.Access(p, k, addr, size)
+	c.memStall += p.Now() - start
 }
 
 // Stats reports instruction counts by category.

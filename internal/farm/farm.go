@@ -94,6 +94,11 @@ type Pool struct {
 	Repeats int
 	// Seed is the base seed per-run seeds are derived from.
 	Seed uint64
+	// OnResult, when non-nil, is invoked once per completed run with its
+	// Result — a progress hook for live monitoring. It is called from worker
+	// goroutines and must be safe for concurrent use; it observes results,
+	// it cannot change them.
+	OnResult func(Result)
 }
 
 // New returns a pool with the given worker count.
@@ -148,6 +153,9 @@ func (p *Pool) Run(jobs []Job) *Report {
 				res.Wall = time.Since(t0)
 				res.Cycles, res.Events = rc.cycles, rc.events
 				rep.Results[i] = res
+				if p.OnResult != nil {
+					p.OnResult(res)
+				}
 			}
 		}()
 	}

@@ -22,6 +22,7 @@ import (
 	"strings"
 	"time"
 
+	"mermaid/internal/analysis"
 	"mermaid/internal/dsm"
 	"mermaid/internal/fault"
 	"mermaid/internal/network"
@@ -170,6 +171,7 @@ type Machine struct {
 	dsm   *dsm.Layer
 	inj   *fault.Injector
 	mon   *Monitor
+	col   *analysis.Collector
 }
 
 // New builds the machine in a fresh environment seeded from the
@@ -193,11 +195,26 @@ func Build(env sim.Env, cfg Config) (*Machine, error) {
 	if k == nil {
 		return nil, fmt.Errorf("machine: nil kernel in environment")
 	}
-	m := &Machine{cfg: cfg, k: k, pb: env.Probe}
-	if tl := env.Timeline(); tl != nil {
-		// Kernel block spans (holds, receives, resource queues) for every
-		// process opted in via TrackProcess.
+	m := &Machine{cfg: cfg, k: k, pb: env.Probe, col: env.Collect}
+	// Kernel block spans (holds, receives, resource queues) feed the timeline
+	// for every process opted in via TrackProcess, and the analysis collector
+	// for every process. With neither attached the tracer stays nil and the
+	// kernel hot path is untouched.
+	tl := env.Timeline()
+	switch {
+	case tl != nil && m.col.Enabled():
+		k.SetTracer(pearl.Tracers{tl, m.col})
+	case tl != nil:
 		k.SetTracer(tl)
+	case m.col.Enabled():
+		k.SetTracer(m.col)
+	}
+	if m.col.Enabled() {
+		cpusPerNode := 1
+		if cfg.Mode == Detailed {
+			cpusPerNode = cfg.Node.Hierarchy.CPUs
+		}
+		m.col.SetMachine(cfg.Name, cpusPerNode)
 	}
 	env.Registry().Gauge("kernel.events", "", func() float64 { return float64(k.EventCount()) })
 	if cfg.hasNetwork() {
@@ -260,6 +277,10 @@ func (m *Machine) DSM() *dsm.Layer { return m.dsm }
 // Kernel returns the machine's simulation kernel.
 func (m *Machine) Kernel() *pearl.Kernel { return m.k }
 
+// Collector returns the bottleneck-analysis collector, or nil when the
+// analyzer is off.
+func (m *Machine) Collector() *analysis.Collector { return m.col }
+
 // Network returns the communication model (nil for single-node machines).
 func (m *Machine) Network() *network.Network { return m.net }
 
@@ -290,6 +311,17 @@ func (m *Machine) attach(srcs []trace.Source) error {
 	}
 	for i, src := range srcs {
 		pr := network.NewProcessor(m.net.Node(i), src)
+		if m.col.Enabled() {
+			i := i
+			pr := pr
+			pr.Observe(m.col, i)
+			m.col.RegisterCPU(i, fmt.Sprintf("proc%d", i), func() analysis.CPUSample {
+				return analysis.CPUSample{
+					Compute:     pr.ComputeCycles(),
+					CommBlocked: pr.CommCycles(),
+				}
+			})
+		}
 		pr.Spawn(m.k)
 		m.procs = append(m.procs, pr)
 	}
@@ -430,6 +462,8 @@ type Result struct {
 	Processors int
 	// Stats is the full metric tree.
 	Stats *stats.Set
+	// Analysis is the bottleneck report, or nil when the analyzer is off.
+	Analysis *analysis.Report
 }
 
 func (m *Machine) result(cycles pearl.Time, wall time.Duration) *Result {
@@ -464,6 +498,7 @@ func (m *Machine) result(cycles pearl.Time, wall time.Duration) *Result {
 		root.Subsets = append(root.Subsets, reg.Dump())
 	}
 	r.Stats = root
+	r.Analysis = m.col.Analyze(cycles)
 	return r
 }
 

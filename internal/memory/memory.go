@@ -5,6 +5,7 @@
 package memory
 
 import (
+	"mermaid/internal/analysis"
 	"mermaid/internal/pearl"
 	"mermaid/internal/probe"
 	"mermaid/internal/stats"
@@ -58,12 +59,15 @@ type DRAM struct {
 	track probe.Track
 }
 
-// New creates a DRAM on kernel k. pb may be nil (no instrumentation); with
-// a probe attached the DRAM registers its access counters and emits one
-// "read"/"write" span per access on its track.
-func New(k *pearl.Kernel, name string, cfg Config, pb *probe.Probe) *DRAM {
+// New creates a DRAM on kernel k. pb and col may be nil (no
+// instrumentation); with a probe attached the DRAM registers its access
+// counters and emits one "read"/"write" span per access on its track; with a
+// collector attached the port pool contributes busy/wait accounting to the
+// bottleneck analysis.
+func New(k *pearl.Kernel, name string, cfg Config, pb *probe.Probe, col *analysis.Collector) *DRAM {
 	cfg.sanitize()
 	d := &DRAM{cfg: cfg, ports: k.NewResource(name+".ports", cfg.Ports)}
+	col.Resource("dram", d.ports)
 	reg := pb.Registry()
 	reg.Counter(name+".reads", &d.reads)
 	reg.Counter(name+".writes", &d.writes)

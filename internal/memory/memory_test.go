@@ -8,7 +8,7 @@ import (
 
 func TestAccessTime(t *testing.T) {
 	k := pearl.NewKernel()
-	d := New(k, "m", Config{ReadLatency: 5, WriteLatency: 7, BytesPerCycle: 8, Ports: 1}, nil)
+	d := New(k, "m", Config{ReadLatency: 5, WriteLatency: 7, BytesPerCycle: 8, Ports: 1}, nil, nil)
 	if got := d.AccessTime(false, 64); got != 13 {
 		t.Fatalf("read 64B = %d, want 13", got)
 	}
@@ -19,7 +19,7 @@ func TestAccessTime(t *testing.T) {
 
 func TestPortContention(t *testing.T) {
 	k := pearl.NewKernel()
-	d := New(k, "m", Config{ReadLatency: 10, WriteLatency: 10, BytesPerCycle: 8, Ports: 1}, nil)
+	d := New(k, "m", Config{ReadLatency: 10, WriteLatency: 10, BytesPerCycle: 8, Ports: 1}, nil, nil)
 	var t1, t2 pearl.Time
 	k.Spawn("a", func(p *pearl.Process) { d.Read(p, 0, 8); t1 = p.Now() })
 	k.Spawn("b", func(p *pearl.Process) { d.Read(p, 64, 8); t2 = p.Now() })
@@ -34,7 +34,7 @@ func TestPortContention(t *testing.T) {
 
 func TestDualPorted(t *testing.T) {
 	k := pearl.NewKernel()
-	d := New(k, "m", Config{ReadLatency: 10, WriteLatency: 10, BytesPerCycle: 8, Ports: 2}, nil)
+	d := New(k, "m", Config{ReadLatency: 10, WriteLatency: 10, BytesPerCycle: 8, Ports: 2}, nil, nil)
 	var t1, t2 pearl.Time
 	k.Spawn("a", func(p *pearl.Process) { d.Read(p, 0, 8); t1 = p.Now() })
 	k.Spawn("b", func(p *pearl.Process) { d.Write(p, 64, 8); t2 = p.Now() })
@@ -46,7 +46,7 @@ func TestDualPorted(t *testing.T) {
 
 func TestSanitizeDefaults(t *testing.T) {
 	k := pearl.NewKernel()
-	d := New(k, "m", Config{}, nil) // all zero: must not divide by zero
+	d := New(k, "m", Config{}, nil, nil) // all zero: must not divide by zero
 	k.Spawn("a", func(p *pearl.Process) { d.Read(p, 0, 64) })
 	k.Run()
 	if d.Reads() != 1 {
@@ -56,7 +56,7 @@ func TestSanitizeDefaults(t *testing.T) {
 
 func TestStatsSet(t *testing.T) {
 	k := pearl.NewKernel()
-	d := New(k, "m", DefaultConfig(), nil)
+	d := New(k, "m", DefaultConfig(), nil, nil)
 	k.Spawn("a", func(p *pearl.Process) { d.Read(p, 0, 8) })
 	k.Run()
 	s := d.Stats()

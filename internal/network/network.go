@@ -9,6 +9,7 @@ package network
 import (
 	"fmt"
 
+	"mermaid/internal/analysis"
 	"mermaid/internal/fault"
 	"mermaid/internal/pearl"
 	"mermaid/internal/probe"
@@ -114,6 +115,10 @@ type Network struct {
 	tl         *probe.Timeline
 	linkTracks []probe.Track
 	reg        *probe.Registry
+
+	// Per-node router busy accounting for the bottleneck analysis (nil when
+	// no collector is attached — the hot path pays one nil test per hop).
+	routers []router.Occupancy
 }
 
 // New builds the network on env's kernel. With a probe attached the network
@@ -156,6 +161,7 @@ func New(env sim.Env, cfg Config) (*Network, error) {
 			for vc := 0; vc < numVCs; vc++ {
 				idx := (node*deg+port)*numVCs + vc
 				n.links[idx] = k.NewResource(fmt.Sprintf("link.%d.%d.vc%d", node, port, vc), 1)
+				env.Collect.Resource("link", n.links[idx])
 				if tl != nil {
 					n.linkTracks[idx] = tl.Track(fmt.Sprintf("net.link%d.%d.vc%d", node, port, vc))
 				}
@@ -177,6 +183,15 @@ func New(env sim.Env, cfg Config) (*Network, error) {
 	reg.Gauge("net.hops.mean", "", n.hopHist.Mean)
 	reg.Gauge("net.link-utilization.avg", "", func() float64 { avg, _ := n.LinkUtilization(); return avg })
 	n.reg = reg
+	if col := env.Collect; col.Enabled() {
+		n.routers = make([]router.Occupancy, topo.Nodes())
+		for node := 0; node < topo.Nodes(); node++ {
+			o := &n.routers[node]
+			col.RegisterResource("router", fmt.Sprintf("router.%d", node), 1, func() analysis.ResourceSample {
+				return analysis.ResourceSample{Busy: o.Busy(), Acquires: o.Hops()}
+			})
+		}
+	}
 	return n, nil
 }
 
@@ -374,6 +389,9 @@ func (n *Network) attemptForward(p *pearl.Process, msg *Message, pktBytes uint32
 		link := n.links[li]
 		p.Acquire(link)
 		hops++
+		if n.routers != nil {
+			n.routers[at].Charge(rc.RoutingDelay)
+		}
 		var start pearl.Time
 		if n.tl != nil {
 			start = p.Now() // span covers channel ownership, not queueing

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 
+	"mermaid/internal/analysis"
 	"mermaid/internal/ops"
 	"mermaid/internal/pearl"
 	"mermaid/internal/stats"
@@ -21,9 +22,14 @@ type Processor struct {
 	src *trace.Cursor
 
 	computeCycles pearl.Time
+	commCycles    pearl.Time
 	taskCount     stats.Counter
 	err           error
 	done          bool
+
+	// Bottleneck-analysis feed (nil collector when the analyzer is off).
+	col *analysis.Collector
+	cpu int
 }
 
 // NewProcessor creates an abstract processor on node interface ni consuming
@@ -32,6 +38,18 @@ type Processor struct {
 func NewProcessor(ni *NodeIf, src trace.Source) *Processor {
 	return &Processor{ni: ni, src: trace.NewCursor(src)}
 }
+
+// Observe attaches the bottleneck-analysis collector, with the processor's
+// machine-wide CPU index. Call before the simulation runs; a nil collector
+// leaves the processor unobserved.
+func (pr *Processor) Observe(col *analysis.Collector, cpu int) {
+	pr.col = col
+	pr.cpu = cpu
+}
+
+// CommCycles returns the total simulated time spent inside communication
+// operations (overheads plus blocking).
+func (pr *Processor) CommCycles() pearl.Time { return pr.commCycles }
 
 // Spawn starts the processor as a simulation process on kernel k.
 func (pr *Processor) Spawn(k *pearl.Kernel) *pearl.Process {
@@ -65,6 +83,7 @@ func (pr *Processor) exec(p *pearl.Process, ev trace.Event) error {
 			ev.Resume <- fb
 		}
 	}
+	start := p.Now()
 	switch o.Kind {
 	case ops.Compute:
 		pr.computeCycles += pearl.Time(o.Dur)
@@ -72,21 +91,31 @@ func (pr *Processor) exec(p *pearl.Process, ev trace.Event) error {
 		if o.Dur > 0 {
 			p.Hold(pearl.Time(o.Dur))
 		}
+		pr.col.Compute(pr.cpu, start, p.Now())
 	case ops.Send:
 		pr.ni.Send(p, int(o.Peer), o.Size, o.Tag, ev.Payload, true)
 		resume(trace.Feedback{Peer: o.Peer, Tag: o.Tag})
+		pr.commCycles += p.Now() - start
+		pr.col.Send(pr.cpu, o.Peer, "send", start, p.Now())
 	case ops.ASend:
 		pr.ni.Send(p, int(o.Peer), o.Size, o.Tag, ev.Payload, false)
 		resume(trace.Feedback{Peer: o.Peer, Tag: o.Tag})
+		pr.commCycles += p.Now() - start
+		pr.col.Send(pr.cpu, o.Peer, "asend", start, p.Now())
 	case ops.Recv:
 		m := pr.ni.Recv(p, o.Peer, o.Tag)
 		resume(trace.Feedback{Peer: int32(m.Src), Tag: m.Tag, Payload: m.Payload})
+		pr.commCycles += p.Now() - start
+		pr.col.Recv(pr.cpu, int32(m.Src), "recv", start, p.Now())
 	case ops.ARecv:
 		pr.ni.PostRecv(p, o.Peer, o.Tag, o.Addr)
 		resume(trace.Feedback{Peer: o.Peer, Tag: o.Tag})
+		pr.commCycles += p.Now() - start
 	case ops.WaitRecv:
 		m := pr.ni.WaitRecv(p, o.Addr)
 		resume(trace.Feedback{Peer: int32(m.Src), Tag: m.Tag, Payload: m.Payload})
+		pr.commCycles += p.Now() - start
+		pr.col.Recv(pr.cpu, int32(m.Src), "waitrecv", start, p.Now())
 	default:
 		return fmt.Errorf("network: task-level trace for node %d contains %s; "+
 			"instruction-level operations need the computational model", pr.ni.id, o.Kind)

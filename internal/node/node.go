@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"io"
 
+	"mermaid/internal/analysis"
 	"mermaid/internal/cache"
 	"mermaid/internal/cpu"
 	"mermaid/internal/dsm"
@@ -62,6 +63,13 @@ type Node struct {
 	// track per CPU carrying compute bursts and communication operations.
 	tl        *probe.Timeline
 	cpuTracks []probe.Track
+
+	// Bottleneck-analysis feed (nil collector when the analyzer is off):
+	// per-CPU communication and DSM-fault time, plus compute/comm spans.
+	col        *analysis.Collector
+	cpuBase    int // machine-wide index of the node's CPU 0
+	commCycles []pearl.Time
+	dsmStall   []pearl.Time
 }
 
 type runner struct {
@@ -86,13 +94,17 @@ func New(env sim.Env, prm Params) (*Node, error) {
 		return nil, err
 	}
 	n := &Node{
-		id:        prm.ID,
-		k:         k,
-		hier:      hier,
-		nif:       prm.NIF,
-		taskSinks: make([]*ops.Writer, cfg.Hierarchy.CPUs),
-		lastComm:  make([]pearl.Time, cfg.Hierarchy.CPUs),
-		taskCount: make([]uint64, cfg.Hierarchy.CPUs),
+		id:         prm.ID,
+		k:          k,
+		hier:       hier,
+		nif:        prm.NIF,
+		taskSinks:  make([]*ops.Writer, cfg.Hierarchy.CPUs),
+		lastComm:   make([]pearl.Time, cfg.Hierarchy.CPUs),
+		taskCount:  make([]uint64, cfg.Hierarchy.CPUs),
+		col:        env.Collect,
+		cpuBase:    prm.ID * cfg.Hierarchy.CPUs,
+		commCycles: make([]pearl.Time, cfg.Hierarchy.CPUs),
+		dsmStall:   make([]pearl.Time, cfg.Hierarchy.CPUs),
 	}
 	reg := env.Registry()
 	tl := env.Timeline()
@@ -101,11 +113,19 @@ func New(env sim.Env, prm Params) (*Node, error) {
 		n.cpuTracks = make([]probe.Track, cfg.Hierarchy.CPUs)
 	}
 	for i := 0; i < cfg.Hierarchy.CPUs; i++ {
+		i := i
 		c := cpu.New(i, cfg.Timing, hier.Port(i))
 		n.cpus = append(n.cpus, c)
 		cpuName := fmt.Sprintf("%s.cpu%d", name, i)
 		reg.Gauge(cpuName+".instructions", "", func() float64 { return float64(c.Instructions()) })
 		reg.Gauge(cpuName+".busy", "cyc", func() float64 { return float64(c.BusyCycles()) })
+		n.col.RegisterCPU(n.cpuBase+i, cpuName, func() analysis.CPUSample {
+			return analysis.CPUSample{
+				Compute:     c.BusyCycles() - c.MemStallCycles(),
+				MemStall:    c.MemStallCycles() + n.dsmStall[i],
+				CommBlocked: n.commCycles[i],
+			}
+		})
 		if tl != nil {
 			n.cpuTracks[i] = tl.Track(cpuName + ".tasks")
 		}
@@ -197,10 +217,12 @@ func (n *Node) exec(p *pearl.Process, c *cpu.CPU, cpuIdx int, ev trace.Event) er
 			// Virtual shared memory: obtain page rights first (may fault
 			// through the network), then perform the local access.
 			write := o.Kind == ops.Store
+			ensureStart := p.Now()
 			n.shared.Ensure(p, n.id, write, o.Addr)
 			if last := o.Addr + o.Mem.Size() - 1; n.shared.InRange(last) {
 				n.shared.Ensure(p, n.id, write, last) // page-straddling access
 			}
+			n.dsmStall[cpuIdx] += p.Now() - ensureStart
 		}
 		return c.Exec(p, o)
 	}
@@ -224,28 +246,34 @@ func (n *Node) exec(p *pearl.Process, c *cpu.CPU, cpuIdx int, ev trace.Event) er
 			ev.Resume <- fb
 		}
 	}
+	gcpu := n.cpuBase + cpuIdx
 	switch o.Kind {
 	case ops.Send:
 		n.nif.Send(p, int(o.Peer), o.Size, o.Tag, ev.Payload, true)
 		resume(trace.Feedback{Peer: o.Peer, Tag: o.Tag})
+		n.col.Send(gcpu, o.Peer, "send", commStart, p.Now())
 	case ops.ASend:
 		n.nif.Send(p, int(o.Peer), o.Size, o.Tag, ev.Payload, false)
 		resume(trace.Feedback{Peer: o.Peer, Tag: o.Tag})
+		n.col.Send(gcpu, o.Peer, "asend", commStart, p.Now())
 	case ops.Recv:
 		m := n.nif.Recv(p, o.Peer, o.Tag)
 		resume(trace.Feedback{Peer: int32(m.Src), Tag: m.Tag, Payload: m.Payload})
+		n.col.Recv(gcpu, int32(m.Src), "recv", commStart, p.Now())
 	case ops.ARecv:
 		n.nif.PostRecv(p, o.Peer, o.Tag, o.Addr)
 		resume(trace.Feedback{Peer: o.Peer, Tag: o.Tag})
 	case ops.WaitRecv:
 		m := n.nif.WaitRecv(p, o.Addr)
 		resume(trace.Feedback{Peer: int32(m.Src), Tag: m.Tag, Payload: m.Payload})
+		n.col.Recv(gcpu, int32(m.Src), "waitrecv", commStart, p.Now())
 	default:
 		return fmt.Errorf("node %d: unsupported operation %s", n.id, o.Kind)
 	}
 	if n.tl != nil {
 		n.tl.Span(n.cpuTracks[cpuIdx], o.Kind.String(), commStart, p.Now())
 	}
+	n.commCycles[cpuIdx] += p.Now() - commStart
 	n.lastComm[cpuIdx] = p.Now()
 	return nil
 }
@@ -261,6 +289,7 @@ func (n *Node) emitTask(p *pearl.Process, cpuIdx int, comm *ops.Op) {
 		// interval the task-level trace derivation records (Fig. 2).
 		n.tl.Span(n.cpuTracks[cpuIdx], "compute", n.lastComm[cpuIdx], p.Now())
 	}
+	n.col.Compute(n.cpuBase+cpuIdx, n.lastComm[cpuIdx], p.Now())
 	w := n.taskSinks[cpuIdx]
 	if w == nil {
 		return

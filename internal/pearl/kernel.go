@@ -150,6 +150,18 @@ type Tracer interface {
 // SetTracer attaches (or, with nil, detaches) a scheduling tracer.
 func (k *Kernel) SetTracer(t Tracer) { k.tracer = t }
 
+// Tracers fans one process-span feed out to several consumers (e.g. the
+// timeline recorder and the bottleneck collector observing the same run). It
+// implements Tracer itself; attach with SetTracer.
+type Tracers []Tracer
+
+// ProcessSpan implements Tracer by forwarding to every member in order.
+func (ts Tracers) ProcessSpan(p *Process, from, to Time, reason string) {
+	for _, t := range ts {
+		t.ProcessSpan(p, from, to, reason)
+	}
+}
+
 // NewKernel returns an empty kernel at virtual time zero.
 func NewKernel() *Kernel {
 	return &Kernel{}

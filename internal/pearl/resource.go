@@ -48,6 +48,22 @@ func (r *Resource) QueueLen() int { return len(r.waiters) }
 // Acquires returns the number of successful acquisitions so far.
 func (r *Resource) Acquires() uint64 { return r.acquires }
 
+// Capacity returns the number of units the resource can grant at once.
+func (r *Resource) Capacity() int { return r.capacity }
+
+// BusyCycles returns the occupancy integral up to the current virtual time:
+// the sum over time of units in use. Divided by capacity times elapsed time
+// it gives Utilization; kept raw it is the uniform busy measure the analysis
+// layer aggregates across every shared resource.
+func (r *Resource) BusyCycles() Time {
+	r.account()
+	return r.busyCycles
+}
+
+// WaitCycles returns the total time processes have spent queued for the
+// resource, summed over all completed acquisitions.
+func (r *Resource) WaitCycles() Time { return r.waitCycles }
+
 // account folds the elapsed occupancy into the busy integral.
 func (r *Resource) account() {
 	now := r.k.now

@@ -2,7 +2,9 @@ package probe
 
 import (
 	"bytes"
+	"encoding/csv"
 	"encoding/json"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -263,5 +265,59 @@ func TestKernelBlockSpansOptIn(t *testing.T) {
 	}
 	if strings.Contains(out, "ignored") {
 		t.Errorf("unregistered process leaked into the timeline:\n%s", out)
+	}
+}
+
+// The CSV export is consumed by external tools, so its shape is pinned:
+// columns appear in registration order behind the cycle column, and metric
+// names containing CSV metacharacters (commas, quotes) are escaped per RFC
+// 4180 rather than corrupting the header.
+func TestWriteCSVDeterministicOrderAndEscaping(t *testing.T) {
+	p := New(Config{})
+	reg := p.Registry()
+	reg.Gauge("plain.metric", "", func() float64 { return 1 })
+	reg.Gauge(`latency,p99`, "cyc", func() float64 { return 2 })
+	reg.Gauge(`say "hi"`, "", func() float64 { return 3 })
+	reg.Sample(10)
+	reg.Sample(20)
+
+	var buf bytes.Buffer
+	if err := reg.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("CSV lines = %d, want header + 2 rows:\n%s", len(lines), buf.String())
+	}
+	wantHeader := `cycle,plain.metric,"latency,p99","say ""hi"""`
+	if lines[0] != wantHeader {
+		t.Errorf("CSV header = %q, want %q", lines[0], wantHeader)
+	}
+
+	// Round-trip through a real CSV reader: the embedded comma and quotes
+	// must come back as the original metric names, in registration order.
+	rd := csv.NewReader(strings.NewReader(buf.String()))
+	rows, err := rd.ReadAll()
+	if err != nil {
+		t.Fatalf("exported CSV does not re-parse: %v", err)
+	}
+	want := []string{"cycle", "plain.metric", `latency,p99`, `say "hi"`}
+	if !reflect.DeepEqual(rows[0], want) {
+		t.Errorf("parsed header = %q, want %q", rows[0], want)
+	}
+	if rows[1][0] != "10" || rows[2][0] != "20" {
+		t.Errorf("cycle column = %q/%q, want 10/20", rows[1][0], rows[2][0])
+	}
+	if rows[1][2] != "2" || rows[1][3] != "3" {
+		t.Errorf("value row = %q, want columns in registration order", rows[1])
+	}
+
+	// A second export must be byte-identical.
+	var buf2 bytes.Buffer
+	if err := reg.WriteCSV(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Error("WriteCSV output differs between calls")
 	}
 }

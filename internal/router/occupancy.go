@@ -1,0 +1,26 @@
+package router
+
+import "mermaid/internal/pearl"
+
+// Occupancy accounts the busy time of one node's router for the bottleneck
+// analysis. Routers are not contended resources in the model — the per-hop
+// routing delay is charged to the packet holding the link — so a plain
+// accumulator is enough: every hop through the node charges its routing
+// delay here, and the analysis layer reads the integral as the router's
+// busy measure.
+type Occupancy struct {
+	busy pearl.Time
+	hops uint64
+}
+
+// Charge records one hop through the router taking d cycles of routing work.
+func (o *Occupancy) Charge(d pearl.Time) {
+	o.busy += d
+	o.hops++
+}
+
+// Busy returns the accumulated routing cycles.
+func (o *Occupancy) Busy() pearl.Time { return o.busy }
+
+// Hops returns the number of packets routed through the node.
+func (o *Occupancy) Hops() uint64 { return o.hops }

@@ -13,6 +13,7 @@
 package sim
 
 import (
+	"mermaid/internal/analysis"
 	"mermaid/internal/pearl"
 	"mermaid/internal/probe"
 )
@@ -31,6 +32,10 @@ type Env struct {
 	// Probe is the observability layer, or nil for an uninstrumented build.
 	// All probe methods are nil-safe, so components use it unconditionally.
 	Probe *probe.Probe
+	// Collect is the bottleneck-analysis collector, or nil when the analyzer
+	// is off. All collector methods are nil-safe, so components register
+	// their busy/wait accounting unconditionally.
+	Collect *analysis.Collector
 }
 
 // NewEnv builds a fresh environment: a new kernel, a root RNG seeded with
@@ -54,6 +59,13 @@ func (e Env) DeriveRNG(stream uint64) *pearl.RNG {
 		root = pearl.NewRNG(0)
 	}
 	return root.Derive(stream)
+}
+
+// WithCollector returns a copy of the environment carrying the given
+// (possibly nil) analysis collector.
+func (e Env) WithCollector(c *analysis.Collector) Env {
+	e.Collect = c
+	return e
 }
 
 // Timeline returns the probe's timeline recorder, or nil.

@@ -75,6 +75,31 @@ func bucketOf(v int64) int {
 	return b
 }
 
+// Merge folds another histogram into h, bucket-wise, as if every sample
+// observed by o had been observed by h: count, sum, min and max all end up
+// exactly what a single histogram observing both sample streams would hold.
+// A nil or empty o is a no-op.
+func (h *Histogram) Merge(o *Histogram) {
+	if o == nil || o.count == 0 {
+		return
+	}
+	if h.count == 0 {
+		*h = *o
+		return
+	}
+	for i := range h.buckets {
+		h.buckets[i] += o.buckets[i]
+	}
+	h.count += o.count
+	h.sum += o.sum
+	if o.min < h.min {
+		h.min = o.min
+	}
+	if o.max > h.max {
+		h.max = o.max
+	}
+}
+
 // Count returns the number of samples.
 func (h *Histogram) Count() uint64 { return h.count }
 

@@ -176,3 +176,57 @@ func TestSortSubsets(t *testing.T) {
 		t.Fatal("not sorted")
 	}
 }
+
+// Property: merging is exactly equivalent to observing both sample streams
+// on one histogram — count, sum, min, max, every bucket, and therefore mean
+// and percentiles all coincide.
+func TestHistogramMergeProperty(t *testing.T) {
+	f := func(a, b []int16) bool {
+		var ha, hb, all Histogram
+		for _, v := range a {
+			ha.Observe(int64(v))
+			all.Observe(int64(v))
+		}
+		for _, v := range b {
+			hb.Observe(int64(v))
+			all.Observe(int64(v))
+		}
+		ha.Merge(&hb)
+		return ha == all // Histogram is comparable: buckets, count, sum, min, max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramMergeEdgeCases(t *testing.T) {
+	var h Histogram
+	h.Observe(3)
+	before := h
+	h.Merge(nil)
+	if h != before {
+		t.Error("Merge(nil) changed the histogram")
+	}
+	var empty Histogram
+	h.Merge(&empty)
+	if h != before {
+		t.Error("merging an empty histogram changed the receiver")
+	}
+	// Merging into an empty histogram copies the source verbatim.
+	var dst Histogram
+	dst.Merge(&h)
+	if dst != h {
+		t.Error("merge into empty is not a copy")
+	}
+	// The source must be left untouched.
+	var src Histogram
+	src.Observe(-2)
+	srcBefore := src
+	dst.Merge(&src)
+	if src != srcBefore {
+		t.Error("Merge mutated its argument")
+	}
+	if dst.Min() != -2 || dst.Max() != 3 || dst.Count() != 2 {
+		t.Errorf("merged min/max/count = %d/%d/%d, want -2/3/2", dst.Min(), dst.Max(), dst.Count())
+	}
+}
