@@ -1,6 +1,6 @@
 # Convenience targets for the Mermaid workbench reproduction.
 
-.PHONY: all build vet test bench experiments examples cover check fmt apicheck api
+.PHONY: all build vet test bench bench-pdes experiments examples cover check fmt apicheck api
 
 all: build vet test
 
@@ -44,6 +44,12 @@ bench:
 	go test -run '^$$' -bench . -benchmem -count=6 ./internal/pearl
 	go test -run '^$$' -bench Slowdown -benchmem -count=6 .
 	go test -run '^$$' -bench Analyzer -benchmem -count=6 ./internal/analysis
+
+# Parallel-engine benchmark: the legacy single-kernel engine against the
+# conservative parallel engine at 1 and 4 shards on a 64-node task-level
+# T805 grid (BenchmarkShardedT805); BENCH_pdes.json tracks the medians.
+bench-pdes:
+	go test -run '^$$' -bench ShardedT805 -benchmem -count=6 .
 
 examples:
 	go run ./examples/quickstart

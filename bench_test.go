@@ -652,3 +652,46 @@ func BenchmarkRouting(b *testing.B) {
 		})
 	}
 }
+
+// E11: the conservative parallel engine against the legacy single-kernel
+// engine on a 64-node task-level T805 grid with exchange traffic — the
+// communication-bound regime where the network transport dominates host
+// time. The sharded engine replaces the legacy per-packet goroutine
+// processes with event-driven transport, so shards1 measures that
+// constant-factor engine change alone and shards4 adds the window-parallel
+// execution across host cores (on a single-core host shards4 only adds
+// barrier overhead on top of shards1).
+func BenchmarkShardedT805(b *testing.B) {
+	desc := stochastic.Desc{
+		Nodes: 64, Level: stochastic.TaskLevel, Seed: 17, Iterations: 40,
+		Phases: []stochastic.Phase{{
+			Duration: 2000,
+			Comm:     stochastic.Comm{Pattern: stochastic.Exchange, Bytes: 8192},
+		}},
+	}
+	for _, shards := range []int{0, 1, 4} {
+		shards := shards
+		name := "legacy"
+		if shards > 0 {
+			name = fmt.Sprintf("shards%d", shards)
+		}
+		b.Run(name, func(b *testing.B) {
+			var totalCycles pearl.Time
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				cfg := machine.T805GridTaskLevel(8, 8)
+				cfg.Shards = shards
+				m, err := machine.New(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := m.RunStochastic(desc)
+				if err != nil {
+					b.Fatal(err)
+				}
+				totalCycles += res.Cycles
+			}
+			reportSim(b, totalCycles, 64)
+		})
+	}
+}

@@ -93,6 +93,7 @@ func main() {
 
 		parallel = flag.Int("parallel", runtime.NumCPU(), "max simulations to run concurrently (experiment sweeps and -repeats)")
 		repeats  = flag.Int("repeats", 1, "replications of the run with per-replica derived seeds")
+		shards   = flag.Int("shards", 0, "run one simulation on N parallel shards (conservative parallel engine; 0 = single kernel). Results are byte-identical at any shard count")
 
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -127,6 +128,26 @@ func main() {
 			fatal(err)
 		}
 		cfg.Faults = sched
+	}
+	if *shards > 0 {
+		cfg.Shards = *shards
+	}
+	if cfg.Shards > 0 {
+		// The parallel engine owns one kernel per shard; the single-kernel
+		// observers that poll or schedule on "the" kernel don't compose with
+		// it (and would break shard-count invariance).
+		switch {
+		case *monitor > 0:
+			fatal(fmt.Errorf("-monitor is not supported with -shards"))
+		case *metricsOut != "":
+			fatal(fmt.Errorf("-metrics is not supported with -shards"))
+		case *reportPath != "":
+			fatal(fmt.Errorf("-report is not supported with -shards"))
+		case *monitorAddr != "":
+			fatal(fmt.Errorf("-monitor-addr is not supported with -shards"))
+		case *timelineSample > 1:
+			fatal(fmt.Errorf("-timeline-sample is not supported with -shards (sampling rates on a partition-dependent counter)"))
+		}
 	}
 	if *dumpConfig {
 		data, err := json.MarshalIndent(cfg, "", "  ")
@@ -242,10 +263,13 @@ func main() {
 		fmt.Fprintf(os.Stderr, "mermaid: wrote %s\n", *reportPath)
 	}
 	if *timeline != "" {
-		if err := writeFileWith(*timeline, pb.Timeline().WriteJSON); err != nil {
+		// MergedTimeline is the single probe timeline on the one-kernel
+		// engine and the canonical cross-shard merge under -shards.
+		tl := m.MergedTimeline()
+		if err := writeFileWith(*timeline, tl.WriteJSON); err != nil {
 			fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "mermaid: wrote %s (%d timeline events)\n", *timeline, pb.Timeline().Events())
+		fmt.Fprintf(os.Stderr, "mermaid: wrote %s (%d timeline events)\n", *timeline, tl.Events())
 	}
 	if *metricsOut != "" {
 		if err := writeFileWith(*metricsOut, pb.Registry().WriteCSV); err != nil {
@@ -465,7 +489,9 @@ func runReplicated(w io.Writer, cfg machine.Config, name string, repeats, worker
 	var agg stats.Histogram
 	for _, v := range rep.Values() {
 		if h, ok := v.(*stats.Histogram); ok {
-			agg.Merge(h)
+			if err := agg.Merge(h); err != nil {
+				return fmt.Errorf("aggregating replica latency: %w", err)
+			}
 		}
 	}
 	if agg.Count() > 0 {

@@ -3,6 +3,7 @@ package analysis
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"net"
 	"net/http"
 	"sort"
@@ -213,6 +214,21 @@ func (m *Monitor) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	}
 }
 
+// eventsPerSec computes the host event throughput, reporting 0 when the
+// interval is degenerate: a zero or negative wall clock (a request landing in
+// the same tick the monitor started, or a stepped clock) must not divide to
+// Inf/NaN in the JSON, and a denormal-small interval must not overflow.
+func eventsPerSec(events uint64, wallSeconds float64) float64 {
+	if wallSeconds <= 0 {
+		return 0
+	}
+	rate := float64(events) / wallSeconds
+	if math.IsInf(rate, 0) || math.IsNaN(rate) {
+		return 0
+	}
+	return rate
+}
+
 func (m *Monitor) handleProgress(w http.ResponseWriter, _ *http.Request) {
 	m.mu.Lock()
 	p := progressJSON{
@@ -224,9 +240,7 @@ func (m *Monitor) handleProgress(w http.ResponseWriter, _ *http.Request) {
 	}
 	m.mu.Unlock()
 	p.WallSeconds = time.Since(m.started).Seconds()
-	if p.WallSeconds > 0 {
-		p.EventsPerSec = float64(p.Events) / p.WallSeconds
-	}
+	p.EventsPerSec = eventsPerSec(p.Events, p.WallSeconds)
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

@@ -44,8 +44,10 @@ type RunContext struct {
 	// Pool.Repeats).
 	Replica int
 	// Seed is the run's private seed, derived from the pool seed and the
-	// run's position (pearl.RNG.Derive): distinct per (Index, Replica),
-	// reproducible across batches and independent of worker count.
+	// (Index, Replica) pair (pearl.RNG.Derive): distinct per run,
+	// reproducible across batches, and independent of both the worker count
+	// and the Repeats setting — raising Repeats adds new seeds without
+	// changing the ones existing runs already used.
 	Seed uint64
 
 	cycles pearl.Time
@@ -142,10 +144,15 @@ func (p *Pool) Run(jobs []Job) *Report {
 					return
 				}
 				job := jobs[i/repeats]
+				index, replica := i/repeats, i%repeats
 				rc := &RunContext{
-					Index:   i / repeats,
-					Replica: i % repeats,
-					Seed:    base.Derive(uint64(i)).Uint64(),
+					Index:   index,
+					Replica: replica,
+					// Derive from the packed (Index, Replica) pair, not the
+					// linear slot: job i's replica-r seed is then invariant
+					// under the pool's Repeats setting, so adding replications
+					// never perturbs the runs an experiment already had.
+					Seed: base.Derive(uint64(index)<<32 | uint64(replica)).Uint64(),
 				}
 				res := Result{Index: rc.Index, Replica: rc.Replica, Name: job.Name, Seed: rc.Seed}
 				t0 := time.Now()
@@ -191,8 +198,13 @@ type Report struct {
 	// Workers and Repeats echo the pool settings that produced the batch.
 	Workers int
 	Repeats int
-	// AllocBytes estimates the host memory churn of the batch (cumulative
-	// heap allocation during Run; process-global, so an estimate only).
+	// AllocBytes estimates the host memory churn of the batch: the delta of
+	// runtime.MemStats.TotalAlloc across Run. The counter is process-global,
+	// so anything else allocating while the batch runs — a live monitor's
+	// HTTP handlers, other batches, the caller's own goroutines — is
+	// attributed to this batch too. Treat it as an order-of-magnitude
+	// indicator for sizing studies, never as a per-run measurement; Go offers
+	// no per-goroutine allocation scope to do better.
 	AllocBytes uint64
 }
 
@@ -257,6 +269,7 @@ func (r *Report) Summary() *stats.Set {
 		s.Put("speedup", sumWall.Seconds()/secs, "x")
 	}
 	if n := len(r.Results); n > 0 {
+		// Process-global estimate — see Report.AllocBytes for the caveats.
 		s.Put("host alloc/run", float64(r.AllocBytes)/1024/float64(n), "KiB")
 	}
 	return s

@@ -162,6 +162,45 @@ func TestDerivedSeedsDistinctAndStable(t *testing.T) {
 	}
 }
 
+// TestSeedsInvariantUnderRepeats pins the (Index, Replica) seed derivation:
+// the seed of job i, replica r must not depend on the pool's Repeats setting.
+// A batch run once and the same batch run with three replications must agree
+// on every replica-0 seed — adding replications to an experiment may only add
+// runs, never silently reseed the ones it already had.
+func TestSeedsInvariantUnderRepeats(t *testing.T) {
+	const jobsN = 4
+	collect := func(repeats int) map[[2]int]uint64 {
+		jobs := make([]Job, jobsN)
+		for i := range jobs {
+			jobs[i] = Job{Name: "seed", Run: func(rc *RunContext) (any, error) {
+				return rc.Seed, nil
+			}}
+		}
+		p := New(2)
+		p.Repeats = repeats
+		p.Seed = 1234
+		rep := p.Run(jobs)
+		if err := rep.Err(); err != nil {
+			t.Fatal(err)
+		}
+		seeds := make(map[[2]int]uint64, len(rep.Results))
+		for _, r := range rep.Results {
+			seeds[[2]int{r.Index, r.Replica}] = r.Seed
+		}
+		return seeds
+	}
+	once := collect(1)
+	thrice := collect(3)
+	for i := 0; i < jobsN; i++ {
+		key := [2]int{i, 0}
+		if once[key] != thrice[key] {
+			t.Fatalf("job %d replica 0: seed %#x with Repeats=1 but %#x with Repeats=3; "+
+				"seeds must derive from (Index, Replica), not the linear slot",
+				i, once[key], thrice[key])
+		}
+	}
+}
+
 func TestRepeatsOrderingJobMajor(t *testing.T) {
 	jobs := []Job{
 		{Name: "a", Run: func(rc *RunContext) (any, error) { return nil, nil }},

@@ -79,6 +79,14 @@ type Config struct {
 	Faults *fault.Schedule `json:"faults,omitempty"`
 	// Seed drives every random policy in the model.
 	Seed uint64
+	// Shards, when positive, runs the simulation on the conservative
+	// parallel engine: the machine's nodes are cut into that many shards,
+	// each owning a discrete-event kernel, synchronised in lookahead-sized
+	// windows derived from the minimum link latency. Results are
+	// byte-identical at any shard count. Zero selects the single-kernel
+	// engine. Requires a networked machine; wormhole switching, non-minimal
+	// routing, and DSM are not supported (see DESIGN.md §8).
+	Shards int `json:"shards,omitempty"`
 }
 
 // Validate checks the configuration's cross-component consistency.
@@ -118,6 +126,17 @@ func (c *Config) Validate() error {
 		}
 		if err := c.Faults.Validate(c.Nodes); err != nil {
 			return err
+		}
+	}
+	if c.Shards < 0 {
+		return fmt.Errorf("machine: %d shards", c.Shards)
+	}
+	if c.Shards > 0 {
+		if !c.hasNetwork() {
+			return fmt.Errorf("machine: the parallel engine requires a networked (multi-node) machine")
+		}
+		if c.DSM != nil {
+			return fmt.Errorf("machine: virtual shared memory is not supported with shards")
 		}
 	}
 	return nil
@@ -172,6 +191,16 @@ type Machine struct {
 	inj   *fault.Injector
 	mon   *Monitor
 	col   *analysis.Collector
+
+	// Parallel-engine state (nil/empty when cfg.Shards == 0): the shard
+	// group, the sharded fabric, the node→shard map, and the per-shard
+	// construction environments (kernel, RNG root, probe). k then aliases
+	// shard 0's kernel; net stays nil and snet carries the fabric.
+	group *pearl.ShardGroup
+	snet  *network.ShardedNetwork
+	part  []int
+	envs  []sim.Env
+	injs  []*fault.Injector
 }
 
 // New builds the machine in a fresh environment seeded from the
@@ -190,6 +219,9 @@ func New(cfg Config) (*Machine, error) {
 func Build(env sim.Env, cfg Config) (*Machine, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
+	}
+	if cfg.Shards > 0 {
+		return buildSharded(env, cfg)
 	}
 	k := env.Kernel
 	if k == nil {
@@ -310,7 +342,7 @@ func (m *Machine) attach(srcs []trace.Source) error {
 		return nil
 	}
 	for i, src := range srcs {
-		pr := network.NewProcessor(m.net.Node(i), src)
+		pr := network.NewProcessor(m.nodeIf(i), src)
 		if m.col.Enabled() {
 			i := i
 			pr := pr
@@ -322,10 +354,29 @@ func (m *Machine) attach(srcs []trace.Source) error {
 				}
 			})
 		}
-		pr.Spawn(m.k)
+		pr.Spawn(m.streamKernel(i))
 		m.procs = append(m.procs, pr)
 	}
 	return nil
+}
+
+// nodeIf returns node i's network interface on whichever fabric the machine
+// was built with.
+func (m *Machine) nodeIf(i int) *network.NodeIf {
+	if m.snet != nil {
+		return m.snet.Node(i)
+	}
+	return m.net.Node(i)
+}
+
+// streamKernel returns the kernel that hosts node i's processes: the shard
+// kernel owning the node under the parallel engine, the machine kernel
+// otherwise.
+func (m *Machine) streamKernel(i int) *pearl.Kernel {
+	if m.group != nil {
+		return m.group.Kernel(m.part[i])
+	}
+	return m.k
 }
 
 // SetTaskSink attaches a task-trace writer to the given stream (detailed
@@ -371,7 +422,12 @@ func (m *Machine) Run(srcs []trace.Source) (*Result, error) {
 		return nil, err
 	}
 	start := time.Now()
-	cycles := m.k.Run()
+	var cycles pearl.Time
+	if m.group != nil {
+		cycles = m.group.Run()
+	} else {
+		cycles = m.k.Run()
+	}
 	wall := time.Since(start)
 
 	// Close fault accounting at the run's end: down-window spans are clipped
@@ -441,10 +497,25 @@ func (m *Machine) checkDone() error {
 		return nil
 	}
 	var blocked []string
-	for _, p := range m.k.Blocked() {
-		blocked = append(blocked, fmt.Sprintf("%s (%s)", p.Name(), p.BlockReason()))
+	for _, k := range m.kernels() {
+		for _, p := range k.Blocked() {
+			blocked = append(blocked, fmt.Sprintf("%s (%s)", p.Name(), p.BlockReason()))
+		}
 	}
 	return &DeadlockError{Blocked: blocked}
+}
+
+// kernels returns every kernel of the machine: the shard kernels under the
+// parallel engine, the single kernel otherwise.
+func (m *Machine) kernels() []*pearl.Kernel {
+	if m.group == nil {
+		return []*pearl.Kernel{m.k}
+	}
+	ks := make([]*pearl.Kernel, m.group.Shards())
+	for i := range ks {
+		ks[i] = m.group.Kernel(i)
+	}
+	return ks
 }
 
 // Result is the outcome of one simulation run.
@@ -469,7 +540,7 @@ type Result struct {
 func (m *Machine) result(cycles pearl.Time, wall time.Duration) *Result {
 	r := &Result{
 		Cycles:     cycles,
-		Events:     m.k.EventCount(),
+		Events:     m.events(),
 		Wall:       wall,
 		Processors: m.Streams(),
 	}
@@ -488,11 +559,18 @@ func (m *Machine) result(cycles pearl.Time, wall time.Duration) *Result {
 	if m.net != nil {
 		root.Subsets = append(root.Subsets, m.net.Stats())
 	}
+	if m.snet != nil {
+		root.Subsets = append(root.Subsets, m.snet.Stats())
+	}
 	if m.dsm != nil {
 		root.Subsets = append(root.Subsets, m.dsm.Stats())
 	}
 	root.PutUint("instructions", r.Instructions, "")
-	if reg := m.pb.Registry(); reg.Len() > 0 {
+	if m.group != nil {
+		if dump := m.mergedRegistryDump(); dump != nil {
+			root.Subsets = append(root.Subsets, dump)
+		}
+	} else if reg := m.pb.Registry(); reg.Len() > 0 {
 		// The flat registry dump: every registered metric under its stable
 		// dotted name (node0.cache.l1d.misses, net.messages, ...).
 		root.Subsets = append(root.Subsets, reg.Dump())

@@ -33,6 +33,11 @@ func (m *Machine) EnableMonitoring(interval pearl.Time) (*Monitor, error) {
 	if m.mon != nil {
 		return nil, fmt.Errorf("machine: monitor already enabled")
 	}
+	if m.group != nil {
+		// The sampling event would land on one shard's schedule and shift
+		// its window sequence, breaking shard-count invariance.
+		return nil, fmt.Errorf("machine: live monitoring is not supported with shards")
+	}
 	mon := &Monitor{Interval: interval, m: m}
 	mon.BusUtil.Name = "bus utilization"
 	mon.LinkUtil.Name = "link utilization"

@@ -81,6 +81,11 @@ type Message struct {
 	ackFut     *pearl.Future
 	remaining  int
 	injectedAt pearl.Time
+	// key is the message's deterministic identity (src node and per-source
+	// injection sequence), assigned by the sharded transport and used to
+	// order same-instant interactions canonically. Zero under the
+	// single-kernel engine, which needs no such tie-breaking.
+	key uint64
 }
 
 // Network is the assembled communication fabric plus per-node interfaces.
@@ -171,7 +176,7 @@ func New(env sim.Env, cfg Config) (*Network, error) {
 	n.ifs = make([]*NodeIf, topo.Nodes())
 	reg := pb.Registry()
 	for i := range n.ifs {
-		n.ifs[i] = &NodeIf{n: n, id: i, handles: make(map[uint64]*pearl.Future)}
+		n.ifs[i] = &NodeIf{tr: n, k: k, id: i, handles: make(map[uint64]*pearl.Future)}
 		reg.Counter(fmt.Sprintf("net.nif%d.sends", i), &n.ifs[i].sends)
 		reg.Counter(fmt.Sprintf("net.nif%d.recvs", i), &n.ifs[i].recvs)
 	}
@@ -238,6 +243,10 @@ func (n *Network) Node(i int) *NodeIf { return n.ifs[i] }
 
 // numVCs is the number of virtual channels per directed link.
 const numVCs = 2
+
+// transport implementation (see nodeif.go).
+func (n *Network) nodeCount() int  { return n.topo.Nodes() }
+func (n *Network) config() *Config { return &n.cfg }
 
 func (n *Network) link(node, port, vc int) *pearl.Resource {
 	return n.links[(node*n.topo.Degree()+port)*numVCs+vc]

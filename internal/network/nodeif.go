@@ -16,8 +16,13 @@ import (
 // compatible arrival — "oldest" in simulated time, which is what makes the
 // generated multiprocessor traces valid.
 type NodeIf struct {
-	n  *Network
+	tr transport
+	k  *pearl.Kernel
 	id int
+
+	// msgSeq numbers the messages this interface injects; the sharded
+	// transport uses (node, msgSeq) as a message's deterministic identity.
+	msgSeq uint64
 
 	arrived []*Message
 	waiters []*recvWait
@@ -27,6 +32,17 @@ type NodeIf struct {
 	recvs     stats.Counter
 	sendBlock pearl.Time // cycles spent blocked in synchronous sends
 	recvBlock pearl.Time // cycles spent blocked waiting for arrivals
+}
+
+// transport is the fabric behind a NodeIf: the single-kernel Network or the
+// sharded fabric. The interface carries exactly the calls the node-facing
+// API needs, so NodeIf semantics (matching, overheads, rendezvous acks) are
+// shared verbatim between both engines.
+type transport interface {
+	nodeCount() int
+	config() *Config
+	inject(m *Message)
+	sendAck(m *Message)
 }
 
 type recvWait struct {
@@ -47,18 +63,18 @@ func (ni *NodeIf) ID() int { return ni.id }
 // synchronous send(message-size, destination) of Table 1; otherwise it
 // returns after the send overhead — asend.
 func (ni *NodeIf) Send(p *pearl.Process, dst int, size uint32, tag uint32, payload any, sync bool) {
-	if dst < 0 || dst >= ni.n.Nodes() {
+	if dst < 0 || dst >= ni.tr.nodeCount() {
 		panic(fmt.Sprintf("network: node %d sending to invalid destination %d", ni.id, dst))
 	}
 	ni.sends.Inc()
-	if ni.n.cfg.SendOverhead > 0 {
-		p.Hold(ni.n.cfg.SendOverhead)
+	if ni.tr.config().SendOverhead > 0 {
+		p.Hold(ni.tr.config().SendOverhead)
 	}
 	msg := &Message{Src: ni.id, Dst: dst, Size: size, Tag: tag, Payload: payload, Sync: sync}
 	if sync {
-		msg.ackFut = ni.n.k.NewFuture()
+		msg.ackFut = ni.k.NewFuture()
 	}
-	ni.n.inject(msg)
+	ni.tr.inject(msg)
 	if sync {
 		start := p.Now()
 		p.Await(msg.ackFut)
@@ -71,14 +87,14 @@ func (ni *NodeIf) Send(p *pearl.Process, dst int, size uint32, tag uint32, paylo
 // wins — the feedback the execution-driven trace generation relies on.
 func (ni *NodeIf) Recv(p *pearl.Process, src int32, tag uint32) *Message {
 	ni.recvs.Inc()
-	if ni.n.cfg.RecvOverhead > 0 {
-		p.Hold(ni.n.cfg.RecvOverhead)
+	if ni.tr.config().RecvOverhead > 0 {
+		p.Hold(ni.tr.config().RecvOverhead)
 	}
 	if m := ni.takeArrived(src, tag); m != nil {
-		ni.n.sendAck(m)
+		ni.tr.sendAck(m)
 		return m
 	}
-	w := &recvWait{src: src, tag: tag, fut: ni.n.k.NewFuture()}
+	w := &recvWait{src: src, tag: tag, fut: ni.k.NewFuture()}
 	ni.waiters = append(ni.waiters, w)
 	start := p.Now()
 	m := p.Await(w.fut).(*Message)
@@ -90,16 +106,16 @@ func (ni *NodeIf) Recv(p *pearl.Process, src int32, tag uint32) *Message {
 // returns immediately; complete it with WaitRecv.
 func (ni *NodeIf) PostRecv(p *pearl.Process, src int32, tag uint32, handle uint64) {
 	ni.recvs.Inc()
-	if ni.n.cfg.RecvOverhead > 0 {
-		p.Hold(ni.n.cfg.RecvOverhead)
+	if ni.tr.config().RecvOverhead > 0 {
+		p.Hold(ni.tr.config().RecvOverhead)
 	}
 	if _, dup := ni.handles[handle]; dup {
 		panic(fmt.Sprintf("network: node %d reusing arecv handle %d", ni.id, handle))
 	}
-	fut := ni.n.k.NewFuture()
+	fut := ni.k.NewFuture()
 	ni.handles[handle] = fut
 	if m := ni.takeArrived(src, tag); m != nil {
-		ni.n.sendAck(m)
+		ni.tr.sendAck(m)
 		fut.Complete(m)
 		return
 	}
@@ -143,7 +159,7 @@ func (ni *NodeIf) arrive(m *Message) {
 	for i, w := range ni.waiters {
 		if matches(w.src, w.tag, m) {
 			ni.waiters = append(ni.waiters[:i], ni.waiters[i+1:]...)
-			ni.n.sendAck(m)
+			ni.tr.sendAck(m)
 			w.fut.Complete(m)
 			return
 		}

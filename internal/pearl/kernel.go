@@ -126,12 +126,25 @@ type Kernel struct {
 	daemons int // live events scheduled with AtDaemon
 	procs   []*Process
 
+	// Deferred same-instant work for the windowed (sharded) executor. Post
+	// callbacks run once no ordinary event remains at the current instant;
+	// Settle callbacks run after the Posts. Neither queue is ordered by seq —
+	// deferred work must be order-insensitive by construction (the sharded
+	// network uses Post for arrival draining and Settle for link
+	// arbitration, both keyed deterministically). Only RunWindow drains
+	// these queues; Run and RunUntil predate them and never see any.
+	postq      []func()
+	postHead   int
+	settleq    []func()
+	settleHead int
+
 	// current is the process whose goroutine currently has control, or nil
 	// when the kernel itself (an event callback) is running.
 	current *Process
 
-	eventCount uint64
-	stopped    bool
+	eventCount  uint64
+	daemonFired uint64 // daemon events actually executed
+	stopped     bool
 
 	// tracer, when non-nil, observes process scheduling for the
 	// instrumentation layer. The hook sits on the process activation path,
@@ -373,6 +386,7 @@ func (k *Kernel) step() bool {
 	kind, fn, proc := s.kind, s.fn, s.proc
 	if kind == evDaemon {
 		k.daemons--
+		k.daemonFired++
 	}
 	// Release before firing so the slot is immediately reusable by whatever
 	// the event schedules.
@@ -441,3 +455,101 @@ func (k *Kernel) Blocked() []*Process {
 
 // Processes returns all processes ever spawned on this kernel.
 func (k *Kernel) Processes() []*Process { return k.procs }
+
+// DaemonEvents returns how many daemon events have been executed. The
+// sharded runner uses it to normalise event counts: background chains
+// replicated into every shard (the fault plan) are counted once.
+func (k *Kernel) DaemonEvents() uint64 { return k.daemonFired }
+
+// PendingWork reports whether any non-daemon event is queued: the liveness
+// condition of Run, exposed so a shard coordinator can decide termination
+// across several kernels.
+func (k *Kernel) PendingWork() bool { return k.live > k.daemons }
+
+// NextTime returns the timestamp of the next live event (daemon or not),
+// discarding cancelled entries on the way; ok is false with nothing queued.
+func (k *Kernel) NextTime() (t Time, ok bool) {
+	idx, _, ok := k.front()
+	if !ok {
+		return 0, false
+	}
+	return k.slots[idx].at, true
+}
+
+// Post defers fn to the end of the current instant: it runs once no
+// ordinary event remains scheduled for the current time, before time
+// advances. Deferred work must be order-insensitive among its peers — the
+// kernel fires Posts in submission order, but submission order at one
+// instant is not part of the determinism contract the way (time, seq) event
+// order is. Only RunWindow executes deferred work.
+func (k *Kernel) Post(fn func()) { k.postq = append(k.postq, fn) }
+
+// Settle defers fn like Post, but to after every Post of the instant has
+// run (and any ordinary same-instant events those created): a second, final
+// deferral phase. The sharded network settles link arbitration here so that
+// every competing request issued anywhere in the instant is visible before
+// a grant is decided.
+func (k *Kernel) Settle(fn func()) { k.settleq = append(k.settleq, fn) }
+
+// runDeferred fires one deferred callback if one is eligible, preferring
+// Posts over Settles, and reports whether it did.
+func (k *Kernel) runDeferred() bool {
+	if k.postHead < len(k.postq) {
+		fn := k.postq[k.postHead]
+		k.postq[k.postHead] = nil
+		k.postHead++
+		k.eventCount++
+		fn()
+		return true
+	}
+	if k.settleHead < len(k.settleq) {
+		fn := k.settleq[k.settleHead]
+		k.settleq[k.settleHead] = nil
+		k.settleHead++
+		k.eventCount++
+		fn()
+		return true
+	}
+	return false
+}
+
+// RunWindow executes every event with timestamp strictly before end —
+// daemon events included, since the window bound, not liveness, limits the
+// horizon — interleaving the deferred Post/Settle phases at each instant.
+// The clock is left at the last executed event (it does not advance to end
+// on its own), so windows compose: consecutive calls with increasing bounds
+// replay exactly the schedule a single unbounded run would.
+func (k *Kernel) RunWindow(end Time) {
+	for {
+		idx, _, ok := k.front()
+		if ok && k.slots[idx].at == k.now {
+			k.step()
+			continue
+		}
+		// Nothing more at this instant: run its deferred phases. A deferred
+		// callback may schedule new current-instant events, which then
+		// preempt the remaining deferred work above.
+		if k.runDeferred() {
+			continue
+		}
+		k.postq, k.postHead = k.postq[:0], 0
+		k.settleq, k.settleHead = k.settleq[:0], 0
+		if !ok || k.slots[idx].at >= end {
+			return
+		}
+		k.step()
+	}
+}
+
+// FinishAt advances an idle (no non-daemon work) kernel's clock to t, so
+// end-of-run gauges that read Now() agree across the shards of one
+// simulation. Daemon events left queued before t stay queued, unfired —
+// exactly like the tail of a fault plan after Run returns.
+func (k *Kernel) FinishAt(t Time) {
+	if k.live > k.daemons {
+		panic("pearl: FinishAt with non-daemon events pending")
+	}
+	if t > k.now {
+		k.now = t
+	}
+}

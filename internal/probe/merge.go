@@ -1,0 +1,72 @@
+package probe
+
+import "sort"
+
+// MergeTimelines combines the per-shard timelines of a partitioned run into
+// one canonical timeline whose JSON export is independent of the shard
+// count.
+//
+// Every track is emitted by exactly one owner — a link's span stream by the
+// shard owning its source node, a process's block spans by the shard the
+// process runs on — so each track's event sequence is already
+// partition-invariant. The merge therefore only has to pick a canonical
+// global order: tracks are created in sorted-name order (duplicate names,
+// e.g. the fault replicas' empty tracks, collapse into one), and events are
+// ordered by (timestamp, track name, per-track emission index). WriteJSON's
+// stable timestamp sort then reproduces exactly this order.
+func MergeTimelines(parts ...*Timeline) *Timeline {
+	var live []*Timeline
+	for _, t := range parts {
+		if t != nil {
+			live = append(live, t)
+		}
+	}
+	if len(live) == 0 {
+		return nil
+	}
+	merged := newTimeline(1)
+	names := make([]string, 0)
+	seen := make(map[string]bool)
+	for _, t := range live {
+		for _, name := range t.tracks {
+			if !seen[name] {
+				seen[name] = true
+				names = append(names, name)
+			}
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		merged.Track(name)
+	}
+	type mev struct {
+		ev   event
+		name string
+		seq  int
+	}
+	var all []mev
+	for _, t := range live {
+		seq := make([]int, len(t.tracks))
+		for _, ev := range t.events {
+			all = append(all, mev{ev: ev, name: t.tracks[ev.track], seq: seq[ev.track]})
+			seq[ev.track]++
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := &all[i], &all[j]
+		if a.ev.ts != b.ev.ts {
+			return a.ev.ts < b.ev.ts
+		}
+		if a.name != b.name {
+			return a.name < b.name
+		}
+		return a.seq < b.seq
+	})
+	for _, m := range all {
+		ev := m.ev
+		ev.track = merged.trackIndex[m.name]
+		merged.events = append(merged.events, ev)
+	}
+	merged.n = uint64(len(merged.events))
+	return merged
+}

@@ -1,0 +1,53 @@
+package router
+
+import (
+	"mermaid/internal/pearl"
+	"mermaid/internal/topology"
+)
+
+// Lookahead is the conservative synchronisation horizon of a partitioned
+// network: how far one shard's clock may run ahead of another's without
+// risking a causality violation. It is derived from the minimum latency of
+// the physical links crossing each shard boundary — the only way simulated
+// state propagates between shards.
+type Lookahead struct {
+	// Pairs[src][dst] is the minimum latency of any directed link leading
+	// from a node of shard src to a node of shard dst, or pearl.Forever
+	// when no such link exists (those shards only interact transitively).
+	Pairs [][]pearl.Time
+	// Global is the group-wide window size: the minimum over all pairs, or
+	// the per-hop latency itself when nothing crosses (a single shard).
+	Global pearl.Time
+}
+
+// ComputeLookahead builds the lookahead table for a topology cut by the
+// node→shard map part into `shards` shards. perHop is the minimum latency
+// of one link traversal (routing decision plus propagation); with uniform
+// links every crossing pair gets perHop, but the table still records which
+// pairs are adjacent at all.
+func ComputeLookahead(t topology.Topology, part []int, shards int, perHop pearl.Time) Lookahead {
+	la := Lookahead{Pairs: make([][]pearl.Time, shards), Global: pearl.Forever}
+	for i := range la.Pairs {
+		la.Pairs[i] = make([]pearl.Time, shards)
+		for j := range la.Pairs[i] {
+			la.Pairs[i][j] = pearl.Forever
+		}
+	}
+	for node := 0; node < t.Nodes(); node++ {
+		for _, nb := range t.Neighbors(node) {
+			if nb < 0 || part[node] == part[nb] {
+				continue
+			}
+			if perHop < la.Pairs[part[node]][part[nb]] {
+				la.Pairs[part[node]][part[nb]] = perHop
+			}
+			if perHop < la.Global {
+				la.Global = perHop
+			}
+		}
+	}
+	if la.Global == pearl.Forever {
+		la.Global = perHop
+	}
+	return la
+}

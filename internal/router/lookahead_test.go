@@ -1,0 +1,43 @@
+package router
+
+import (
+	"testing"
+
+	"mermaid/internal/pearl"
+	"mermaid/internal/topology"
+)
+
+func TestComputeLookahead(t *testing.T) {
+	topo, err := topology.New(topology.Config{Kind: topology.Mesh2D, DimX: 4, DimY: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	part := topology.Partition(16, 2)
+	la := ComputeLookahead(topo, part, 2, 16)
+	if la.Global != 16 {
+		t.Fatalf("Global = %d, want 16", la.Global)
+	}
+	if la.Pairs[0][1] != 16 || la.Pairs[1][0] != 16 {
+		t.Fatalf("adjacent pair lookahead = %d/%d, want 16", la.Pairs[0][1], la.Pairs[1][0])
+	}
+	if la.Pairs[0][0] != pearl.Forever {
+		t.Fatalf("self pair = %d, want Forever", la.Pairs[0][0])
+	}
+
+	// Four shards on a 4x4 mesh: bands are adjacent to their neighbours
+	// only; shard 0 and shard 3 never share a link.
+	part4 := topology.Partition(16, 4)
+	la4 := ComputeLookahead(topo, part4, 4, 16)
+	if la4.Pairs[0][3] != pearl.Forever {
+		t.Fatalf("non-adjacent pair = %d, want Forever", la4.Pairs[0][3])
+	}
+	if la4.Pairs[2][3] != 16 {
+		t.Fatalf("adjacent pair = %d, want 16", la4.Pairs[2][3])
+	}
+
+	// Single shard: nothing crosses, Global falls back to perHop.
+	la1 := ComputeLookahead(topo, topology.Partition(16, 1), 1, 16)
+	if la1.Global != 16 {
+		t.Fatalf("single-shard Global = %d, want 16", la1.Global)
+	}
+}

@@ -191,11 +191,162 @@ func TestHistogramMergeProperty(t *testing.T) {
 			hb.Observe(int64(v))
 			all.Observe(int64(v))
 		}
-		ha.Merge(&hb)
+		if err := ha.Merge(&hb); err != nil {
+			return false
+		}
 		return ha == all // Histogram is comparable: buckets, count, sum, min, max
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// The merge property holds for explicit bucket layouts too, as long as both
+// histograms share one.
+func TestHistogramMergePropertyExplicitEdges(t *testing.T) {
+	edges := []int64{-100, 0, 10, 50, 1000}
+	f := func(a, b []int16) bool {
+		ha, err1 := NewHistogramWithEdges(edges...)
+		hb, err2 := NewHistogramWithEdges(edges...)
+		all, err3 := NewHistogramWithEdges(edges...)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return false
+		}
+		for _, v := range a {
+			ha.Observe(int64(v))
+			all.Observe(int64(v))
+		}
+		for _, v := range b {
+			hb.Observe(int64(v))
+			all.Observe(int64(v))
+		}
+		if err := ha.Merge(hb); err != nil {
+			return false
+		}
+		return *ha == *all
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Merging histograms with different bucket layouts must fail loudly instead
+// of silently adding buckets that mean different ranges.
+func TestHistogramMergeRejectsMismatchedLayouts(t *testing.T) {
+	a, err := NewHistogramWithEdges(10, 20, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewHistogramWithEdges(10, 25, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Observe(5)
+	b.Observe(15)
+	before := *a
+	if err := a.Merge(b); err == nil {
+		t.Fatal("merging mismatched explicit layouts did not error")
+	}
+	if *a != before {
+		t.Fatal("failed merge modified the receiver")
+	}
+
+	// Explicit vs default layout is also a mismatch, in both directions.
+	var def Histogram
+	def.Observe(7)
+	if err := a.Merge(&def); err == nil {
+		t.Fatal("merging default layout into explicit layout did not error")
+	}
+	if err := def.Merge(a); err == nil {
+		t.Fatal("merging explicit layout into non-empty default did not error")
+	}
+
+	// An empty explicitly-configured histogram keeps its configured bounds:
+	// it must not silently adopt a mismatched source either.
+	c, err := NewHistogramWithEdges(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Merge(a); err == nil {
+		t.Fatal("empty explicit histogram adopted a mismatched layout")
+	}
+
+	// But a zero-value aggregator adopts the source verbatim.
+	var agg Histogram
+	if err := agg.Merge(a); err != nil {
+		t.Fatal(err)
+	}
+	if agg != *a {
+		t.Fatal("zero-value aggregator did not copy the explicit source")
+	}
+	// And same-layout merging still works after adoption.
+	more, _ := NewHistogramWithEdges(10, 20, 30)
+	more.Observe(25)
+	if err := agg.Merge(more); err != nil {
+		t.Fatalf("same-layout merge after adoption: %v", err)
+	}
+	if agg.Count() != 2 {
+		t.Fatalf("count = %d, want 2", agg.Count())
+	}
+}
+
+// NewHistogramWithEdges validates its layout up front.
+func TestNewHistogramWithEdgesValidation(t *testing.T) {
+	if _, err := NewHistogramWithEdges(); err == nil {
+		t.Error("empty edges accepted")
+	}
+	if _, err := NewHistogramWithEdges(3, 3); err == nil {
+		t.Error("duplicate edges accepted")
+	}
+	if _, err := NewHistogramWithEdges(5, 1); err == nil {
+		t.Error("descending edges accepted")
+	}
+	tooMany := make([]int64, 65)
+	for i := range tooMany {
+		tooMany[i] = int64(i)
+	}
+	if _, err := NewHistogramWithEdges(tooMany...); err == nil {
+		t.Error("65 edges accepted")
+	}
+}
+
+// Explicit buckets place samples by [e(i-1), e(i)) intervals, and the
+// rendering and percentile paths respect those bounds.
+func TestHistogramExplicitEdgesBucketing(t *testing.T) {
+	h, err := NewHistogramWithEdges(0, 10, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []int64{-5, 0, 9, 10, 99, 100, 5000} {
+		h.Observe(v)
+	}
+	rows := h.Buckets()
+	// Buckets: (-inf,0) -> {-5}; [0,10) -> {0,9}; [10,100) -> {10,99};
+	// [100,inf) -> {100,5000}.
+	wantCounts := []int64{1, 2, 2, 2}
+	if len(rows) != len(wantCounts) {
+		t.Fatalf("got %d bucket rows (%v), want %d", len(rows), rows, len(wantCounts))
+	}
+	for i, row := range rows {
+		if row[2] != wantCounts[i] {
+			t.Errorf("bucket %d count = %d, want %d (%v)", i, row[2], wantCounts[i], rows)
+		}
+	}
+	// The open-ended outer buckets clamp to observed extremes.
+	if rows[0][0] != -5 || rows[len(rows)-1][1] != 5000 {
+		t.Errorf("outer bucket edges = %d/%d, want -5/5000", rows[0][0], rows[len(rows)-1][1])
+	}
+	// Percentile stays inside [min, max] and respects bucket upper edges.
+	if p := h.Percentile(0.5); p < h.Min() || p > h.Max() {
+		t.Errorf("p50 = %d outside [%d, %d]", p, h.Min(), h.Max())
+	}
+	// p0 lands in the first bucket: its upper edge is edges[0]-1 = -1, which
+	// already lies inside [min, max] so no clamping applies.
+	if p := h.Percentile(0); p != -1 {
+		t.Errorf("p0 = %d, want -1 (upper edge of the first bucket)", p)
+	}
+	if p := h.Percentile(1); p != 5000 {
+		t.Errorf("p100 = %d, want 5000 (clamped to max)", p)
 	}
 }
 
