@@ -1,6 +1,6 @@
 # Convenience targets for the Mermaid workbench reproduction.
 
-.PHONY: all build vet test bench bench-pdes experiments examples cover check fmt apicheck api
+.PHONY: all build vet test bench bench-pdes bench-scale experiments examples cover check fmt apicheck api
 
 all: build vet test
 
@@ -50,6 +50,14 @@ bench:
 # T805 grid (BenchmarkShardedT805); BENCH_pdes.json tracks the medians.
 bench-pdes:
 	go test -run '^$$' -bench ShardedT805 -benchmem -count=6 .
+
+# Million-node scale benchmarks: per-hop cost of the purely algorithmic
+# routing on 1M-node hierarchical topologies (BenchmarkScaleRouting) and
+# process- vs compact-engine host time on growing task-level machines
+# (BenchmarkScaleEngine); BENCH_scale.json tracks the medians.
+bench-scale:
+	go test -run '^$$' -bench ScaleRouting -benchmem -count=6 ./internal/topology
+	go test -run '^$$' -bench ScaleEngine -benchmem -count=6 ./internal/machine
 
 examples:
 	go run ./examples/quickstart

@@ -11,6 +11,7 @@
 //	mermaid -preset ppc601 -traces node0.mmt
 //	mermaid -experiment all
 //	mermaid -preset hybrid-2x2x2 -dump-config
+//	mermaid -topology fattree:32x3 -desc sweep.json
 package main
 
 import (
@@ -65,6 +66,8 @@ func main() {
 	var (
 		preset     = flag.String("preset", "", "machine preset: "+strings.Join(presetNames(), ", "))
 		configPath = flag.String("config", "", "machine configuration JSON file")
+		topoSpec   = flag.String("topology", "", "build a task-level machine on this topology, e.g. torus:8x8, torus3d:16x16x16, fattree:32x3, dragonfly:8x4x33 (instead of -preset/-config)")
+		engineF    = flag.String("engine", "", "node engine for task-level machines: auto, process, compact (default auto)")
 		dumpConfig = flag.Bool("dump-config", false, "print the machine configuration as JSON and exit")
 
 		faultsPath = flag.String("faults", "", "fault schedule JSON file (link/node down windows, packet noise, retransmission parameters)")
@@ -114,9 +117,12 @@ func main() {
 		return
 	}
 
-	cfg, err := resolveConfig(*preset, *configPath)
+	cfg, err := resolveConfig(*preset, *configPath, *topoSpec)
 	if err != nil {
 		fatal(err)
+	}
+	if *engineF != "" {
+		cfg.Engine = *engineF
 	}
 	if *faultsPath != "" {
 		data, err := os.ReadFile(*faultsPath)
@@ -150,6 +156,9 @@ func main() {
 		}
 	}
 	if *dumpConfig {
+		if cfg.Version == 0 {
+			cfg.Version = machine.ConfigVersion
+		}
 		data, err := json.MarshalIndent(cfg, "", "  ")
 		if err != nil {
 			fatal(err)
@@ -369,10 +378,16 @@ func runTraceFiles(m *machine.Machine, paths []string) (*machine.Result, error) 
 	return m.Run(srcs)
 }
 
-func resolveConfig(preset, configPath string) (machine.Config, error) {
+func resolveConfig(preset, configPath, topoSpec string) (machine.Config, error) {
+	given := 0
+	for _, s := range []string{preset, configPath, topoSpec} {
+		if s != "" {
+			given++
+		}
+	}
 	switch {
-	case preset != "" && configPath != "":
-		return machine.Config{}, fmt.Errorf("use either -preset or -config, not both")
+	case given > 1:
+		return machine.Config{}, fmt.Errorf("use exactly one of -preset, -config or -topology")
 	case preset != "":
 		mk, ok := presets[preset]
 		if !ok {
@@ -385,8 +400,10 @@ func resolveConfig(preset, configPath string) (machine.Config, error) {
 			return machine.Config{}, err
 		}
 		return machine.ParseConfig(data)
+	case topoSpec != "":
+		return machine.TaskMachineFromSpec(topoSpec)
 	default:
-		return machine.Config{}, fmt.Errorf("a machine is required: -preset or -config")
+		return machine.Config{}, fmt.Errorf("a machine is required: -preset, -config or -topology")
 	}
 }
 
@@ -470,6 +487,10 @@ func runReplicated(w io.Writer, cfg machine.Config, name string, repeats, worker
 		rc.ObserveSim(res.Cycles, res.Events)
 		if net := m.Network(); net != nil {
 			h := *net.MessageLatency() // copy: the machine dies with the run
+			return &h, nil
+		}
+		if cn := m.Compact(); cn != nil {
+			h := *cn.MessageLatency()
 			return &h, nil
 		}
 		return nil, nil

@@ -49,9 +49,8 @@ type Injector struct {
 	retrans Retrans
 
 	deg      int
-	nbr      []int32 // [node*deg+port] neighbour node, -1 where unwired
-	linkDown []int   // [node*deg+port] down-window nesting count
-	nodeDown []int   // [node] down-window nesting count
+	linkDown []int // [node*deg+port] down-window nesting count
+	nodeDown []int // [node] down-window nesting count
 
 	drop    []float64 // [node*deg+port] per-hop drop probability
 	corrupt []float64 // [node*deg+port] per-hop corruption probability
@@ -126,17 +125,6 @@ func newInjector(k *pearl.Kernel, topo topology.Topology, sched Schedule, rng *p
 		tl:       pb.Timeline(),
 		eager:    eager,
 	}
-	// Flatten the wiring once: Neighbors may build its slice per call, and
-	// LinkDown must stay allocation-free on the per-hop path.
-	inj.nbr = make([]int32, topo.Nodes()*topo.Degree())
-	for i := range inj.nbr {
-		inj.nbr[i] = -1
-	}
-	for node := 0; node < topo.Nodes(); node++ {
-		for port, nb := range topo.Neighbors(node) {
-			inj.nbr[node*inj.deg+port] = int32(nb)
-		}
-	}
 	if err := inj.applyNoise(); err != nil {
 		return nil, err
 	}
@@ -162,13 +150,11 @@ func newInjector(k *pearl.Kernel, topo topology.Topology, sched Schedule, rng *p
 // error if the nodes are not neighbours.
 func (inj *Injector) ports(a, b int) (ab, ba int, err error) {
 	ab, ba = -1, -1
-	for port, nb := range inj.topo.Neighbors(a) {
-		if nb == b {
+	for port := 0; port < inj.deg; port++ {
+		if inj.topo.Neighbor(a, port) == b {
 			ab = a*inj.deg + port
 		}
-	}
-	for port, nb := range inj.topo.Neighbors(b) {
-		if nb == a {
+		if inj.topo.Neighbor(b, port) == a {
 			ba = b*inj.deg + port
 		}
 	}
@@ -190,8 +176,8 @@ func (inj *Injector) applyNoise() error {
 		inj.noisy = true
 		if ln.A == -1 && ln.B == -1 {
 			for node := 0; node < inj.topo.Nodes(); node++ {
-				for port, nb := range inj.topo.Neighbors(node) {
-					if nb < 0 {
+				for port := 0; port < inj.deg; port++ {
+					if inj.topo.Neighbor(node, port) < 0 {
 						continue
 					}
 					idx := node*inj.deg + port
@@ -297,7 +283,7 @@ func (inj *Injector) LinkDown(node, port int) bool {
 	if inj.linkDown[node*inj.deg+port] > 0 || inj.nodeDown[node] > 0 {
 		return true
 	}
-	nb := inj.nbr[node*inj.deg+port]
+	nb := inj.topo.Neighbor(node, port)
 	return nb >= 0 && inj.nodeDown[nb] > 0
 }
 

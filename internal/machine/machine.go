@@ -32,6 +32,7 @@ import (
 	"mermaid/internal/sim"
 	"mermaid/internal/stats"
 	"mermaid/internal/stochastic"
+	"mermaid/internal/topology"
 	"mermaid/internal/trace"
 )
 
@@ -49,8 +50,33 @@ const (
 
 // ConfigVersion is the current machine-configuration schema version. Version
 // 0 files (the legacy, unversioned schema) are upgraded on parse; versions
-// beyond ConfigVersion are rejected.
-const ConfigVersion = 1
+// beyond ConfigVersion are rejected. Version history:
+//
+//	v1 — adds the Faults block.
+//	v2 — adds the Engine selector and the hierarchical topology families
+//	     (torus3d, fattree, dragonfly).
+const ConfigVersion = 2
+
+// Engine selects the task-level execution engine.
+//
+// The process engine runs one simulation process per node — fully featured
+// (timeline probes, bottleneck collector) but with per-node goroutine cost.
+// The compact engine steps a flat struct-of-arrays node state machine with
+// plain kernel events: byte-identical reports, two orders of magnitude less
+// memory per node, no scheduler handoffs — the only way to 10^5..10^6-node
+// machines. EngineAuto (or empty) picks compact for large task-level machines
+// when no process-level instrumentation is attached.
+const (
+	EngineAuto    = "auto"
+	EngineProcess = "process"
+	EngineCompact = "compact"
+)
+
+// CompactAutoThreshold is the node count at which EngineAuto switches a
+// task-level machine to the compact engine. Below it the engines are
+// indistinguishable in output and close enough in speed that the fully
+// instrumentable process engine stays the default.
+const CompactAutoThreshold = 4096
 
 // Config describes a complete machine.
 type Config struct {
@@ -87,6 +113,11 @@ type Config struct {
 	// engine. Requires a networked machine; wormhole switching, non-minimal
 	// routing, and DSM are not supported (see DESIGN.md §8).
 	Shards int `json:"shards,omitempty"`
+	// Engine selects the task-level execution engine: EngineAuto (or empty),
+	// EngineProcess, or EngineCompact (schema v2; see DESIGN.md §9). Only
+	// meaningful for single-kernel task-level machines; detailed mode and the
+	// parallel engine always use processes.
+	Engine string `json:"engine,omitempty"`
 }
 
 // Validate checks the configuration's cross-component consistency.
@@ -128,6 +159,19 @@ func (c *Config) Validate() error {
 			return err
 		}
 	}
+	switch c.Engine {
+	case "", EngineAuto, EngineProcess:
+	case EngineCompact:
+		if c.Mode != TaskLevel {
+			return fmt.Errorf("machine: the compact engine is task-level only; detailed nodes need processes")
+		}
+		if c.Shards > 0 {
+			return fmt.Errorf("machine: the compact engine is single-kernel; drop shards or use engine %q", EngineProcess)
+		}
+	default:
+		return fmt.Errorf("machine: unknown engine %q (want %q, %q or %q)",
+			c.Engine, EngineAuto, EngineProcess, EngineCompact)
+	}
 	if c.Shards < 0 {
 		return fmt.Errorf("machine: %d shards", c.Shards)
 	}
@@ -165,7 +209,17 @@ func ParseConfig(data []byte) (Config, error) {
 		// block, so one appearing in an unversioned file is a mistake worth
 		// rejecting, not upgrading.
 		if cfg.Faults != nil {
-			return Config{}, fmt.Errorf("machine: faults block requires config version %d", ConfigVersion)
+			return Config{}, fmt.Errorf("machine: faults block requires config version 1 or later")
+		}
+		fallthrough
+	case 1:
+		// v1 predates the engine selector and the hierarchical topology
+		// families; either appearing in an older file is a mistake.
+		if cfg.Engine != "" {
+			return Config{}, fmt.Errorf("machine: engine selector requires config version 2")
+		}
+		if topology.Hierarchical(cfg.Network.Topology.Kind) {
+			return Config{}, fmt.Errorf("machine: topology %q requires config version 2", cfg.Network.Topology.Kind)
 		}
 		cfg.Version = ConfigVersion
 	case ConfigVersion:
@@ -185,6 +239,7 @@ type Machine struct {
 	k     *pearl.Kernel
 	pb    *probe.Probe
 	net   *network.Network
+	cnet  *network.CompactNet
 	nodes []*node.Node
 	procs []*network.Processor
 	dsm   *dsm.Layer
@@ -253,15 +308,27 @@ func Build(env sim.Env, cfg Config) (*Machine, error) {
 		if cfg.Network.Topology.Kind == "" {
 			return nil, fmt.Errorf("machine: %d nodes but no topology", cfg.Nodes)
 		}
-		net, err := network.New(env, cfg.Network)
-		if err != nil {
-			return nil, err
+		if cfg.useCompact(env) {
+			cn, err := network.NewCompact(env, cfg.Network)
+			if err != nil {
+				return nil, err
+			}
+			if cn.Nodes() != cfg.Nodes {
+				return nil, fmt.Errorf("machine: %d nodes but topology %s has %d",
+					cfg.Nodes, cn.Topology().Name(), cn.Nodes())
+			}
+			m.cnet = cn
+		} else {
+			net, err := network.New(env, cfg.Network)
+			if err != nil {
+				return nil, err
+			}
+			if net.Nodes() != cfg.Nodes {
+				return nil, fmt.Errorf("machine: %d nodes but topology %s has %d",
+					cfg.Nodes, net.Topology().Name(), net.Nodes())
+			}
+			m.net = net
 		}
-		if net.Nodes() != cfg.Nodes {
-			return nil, fmt.Errorf("machine: %d nodes but topology %s has %d",
-				cfg.Nodes, net.Topology().Name(), net.Nodes())
-		}
-		m.net = net
 	}
 	if cfg.Mode == Detailed {
 		for i := 0; i < cfg.Nodes; i++ {
@@ -289,14 +356,48 @@ func Build(env sim.Env, cfg Config) (*Machine, error) {
 	if !cfg.Faults.Empty() {
 		// Registered last so that with an empty schedule the metric registry
 		// and timeline are bit-identical to a build without the subsystem.
-		inj, err := fault.NewInjector(k, m.net.Topology(), *cfg.Faults, env.RNG, env.Probe)
+		inj, err := fault.NewInjector(k, m.topology(), *cfg.Faults, env.RNG, env.Probe)
 		if err != nil {
 			return nil, err
 		}
 		m.inj = inj
-		m.net.AttachFaults(inj)
+		if m.cnet != nil {
+			m.cnet.AttachFaults(inj)
+		} else {
+			m.net.AttachFaults(inj)
+		}
 	}
 	return m, nil
+}
+
+// useCompact resolves the engine selection for this build. Forcing
+// EngineCompact with a timeline or collector attached is left to
+// network.NewCompact, which rejects it with a descriptive error; EngineAuto
+// quietly keeps the process engine in that case, since the user asked for
+// instrumentation the compact engine cannot feed.
+func (c *Config) useCompact(env sim.Env) bool {
+	if c.Mode != TaskLevel || c.Shards > 0 {
+		return false
+	}
+	switch c.Engine {
+	case EngineCompact:
+		return true
+	case "", EngineAuto:
+		return c.Nodes >= CompactAutoThreshold && env.Timeline() == nil && !env.Collect.Enabled()
+	}
+	return false
+}
+
+// topology returns the interconnect of whichever fabric the machine was
+// built with, or nil for single-node machines.
+func (m *Machine) topology() topology.Topology {
+	switch {
+	case m.cnet != nil:
+		return m.cnet.Topology()
+	case m.net != nil:
+		return m.net.Topology()
+	}
+	return nil
 }
 
 // Faults returns the fault injector, or nil when the configuration schedules
@@ -313,8 +414,13 @@ func (m *Machine) Kernel() *pearl.Kernel { return m.k }
 // analyzer is off.
 func (m *Machine) Collector() *analysis.Collector { return m.col }
 
-// Network returns the communication model (nil for single-node machines).
+// Network returns the process-engine communication model (nil for
+// single-node machines and under the compact or parallel engines).
 func (m *Machine) Network() *network.Network { return m.net }
+
+// Compact returns the compact-engine communication model, or nil when the
+// machine runs on the process or parallel engine.
+func (m *Machine) Compact() *network.CompactNet { return m.cnet }
 
 // Nodes returns the node models (empty in task-level mode).
 func (m *Machine) Nodes() []*node.Node { return m.nodes }
@@ -338,6 +444,15 @@ func (m *Machine) attach(srcs []trace.Source) error {
 		cpus := m.cfg.Node.Hierarchy.CPUs
 		for i, src := range srcs {
 			m.nodes[i/cpus].Run(i%cpus, src)
+		}
+		return nil
+	}
+	if m.cnet != nil {
+		// Compact engine: the shared state machine consumes the streams
+		// directly; attach in ascending node order so the first-fetch events
+		// land in the same kernel order as process spawns would.
+		for i, src := range srcs {
+			m.cnet.Attach(i, src)
 		}
 		return nil
 	}
@@ -444,6 +559,11 @@ func (m *Machine) Run(srcs []trace.Source) (*Result, error) {
 			return nil, err
 		}
 	}
+	if m.cnet != nil {
+		if err := m.cnet.Err(); err != nil {
+			return nil, err
+		}
+	}
 	if err := m.checkDone(); err != nil {
 		return nil, err
 	}
@@ -469,10 +589,15 @@ func (m *Machine) RunProgram(prog *trace.Program) (*Result, error) {
 }
 
 // RunStochastic generates traces from the description and runs them. The
-// description's level must match the machine's mode.
+// description's level must match the machine's mode. A description with
+// Nodes == 0 is sized to the machine, so one description file can drive a
+// whole machine-size sweep.
 func (m *Machine) RunStochastic(d stochastic.Desc) (*Result, error) {
 	if (d.Level == stochastic.TaskLevel) != (m.cfg.Mode == TaskLevel) {
 		return nil, fmt.Errorf("machine: %s description on %s machine", d.Level, m.cfg.Mode)
+	}
+	if d.Nodes == 0 {
+		d.Nodes = m.Streams()
 	}
 	if d.Nodes != m.Streams() {
 		return nil, fmt.Errorf("machine: description for %d nodes, machine has %d streams",
@@ -493,6 +618,9 @@ func (m *Machine) checkDone() error {
 	for _, pr := range m.procs {
 		done = done && pr.Done()
 	}
+	if m.cnet != nil {
+		done = done && m.cnet.AllDone()
+	}
 	if done {
 		return nil
 	}
@@ -501,6 +629,9 @@ func (m *Machine) checkDone() error {
 		for _, p := range k.Blocked() {
 			blocked = append(blocked, fmt.Sprintf("%s (%s)", p.Name(), p.BlockReason()))
 		}
+	}
+	if m.cnet != nil {
+		blocked = append(blocked, m.cnet.Blocked()...)
 	}
 	return &DeadlockError{Blocked: blocked}
 }
@@ -555,6 +686,12 @@ func (m *Machine) result(cycles pearl.Time, wall time.Duration) *Result {
 	}
 	for _, pr := range m.procs {
 		root.Subsets = append(root.Subsets, pr.Stats())
+	}
+	if m.cnet != nil {
+		for i := 0; i < m.cnet.Nodes(); i++ {
+			root.Subsets = append(root.Subsets, m.cnet.ProcStats(i))
+		}
+		root.Subsets = append(root.Subsets, m.cnet.Stats())
 	}
 	if m.net != nil {
 		root.Subsets = append(root.Subsets, m.net.Stats())

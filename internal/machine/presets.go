@@ -212,3 +212,24 @@ func GenericTaskMachine(topo topology.Config, nodes int, sw router.Switching) Co
 		},
 	}
 }
+
+// TaskMachineFromSpec builds a task-level machine from a compact topology
+// specification string ("kind:AxB...", see topology.ParseSpec): one abstract
+// processor per topology node, wormhole switching, and the engine selected
+// automatically — so a single -topology flag scales from a 16-node torus to
+// a million-node dragonfly. The returned configuration carries the current
+// schema version, so -dump-config output round-trips through ParseConfig.
+func TaskMachineFromSpec(spec string) (Config, error) {
+	tc, err := topology.ParseSpec(spec)
+	if err != nil {
+		return Config{}, err
+	}
+	tp, err := topology.New(tc)
+	if err != nil {
+		return Config{}, err
+	}
+	cfg := GenericTaskMachine(tc, tp.Nodes(), router.Wormhole)
+	cfg.Name = "task-" + tp.Name()
+	cfg.Version = ConfigVersion
+	return cfg, nil
+}

@@ -79,6 +79,7 @@ type Message struct {
 
 	isAck      bool
 	ackFut     *pearl.Future
+	ackFn      func() // compact-engine ack completion (see compact.go)
 	remaining  int
 	injectedAt pearl.Time
 	// key is the message's deterministic identity (src node and per-source
@@ -110,7 +111,7 @@ type Network struct {
 	// fates, the table re-paths around dead links, and the counters account
 	// the recovery traffic.
 	faults      *fault.Injector
-	table       *router.Table
+	table       *router.LazyTable
 	retransmits stats.Counter
 	lost        stats.Counter
 	repaths     stats.Counter
@@ -159,8 +160,8 @@ func New(env sim.Env, cfg Config) (*Network, error) {
 	}
 	n.links = make([]*pearl.Resource, topo.Nodes()*deg*numVCs)
 	for node := 0; node < topo.Nodes(); node++ {
-		for port, nb := range topo.Neighbors(node) {
-			if nb < 0 {
+		for port := 0; port < deg; port++ {
+			if topo.Neighbor(node, port) < 0 {
 				continue
 			}
 			for vc := 0; vc < numVCs; vc++ {
@@ -217,8 +218,12 @@ func (n *Network) AttachFaults(inj *fault.Injector) {
 	n.reg.Counter("net.retransmits", &n.retransmits)
 	n.reg.Counter("net.lost", &n.lost)
 	n.reg.Counter("net.repaths", &n.repaths)
+	// Per-destination rows are computed on first use and dropped on every
+	// topology-change event, so the fault-affected cut is the only part of
+	// the O(N²) table a run ever pays for.
+	n.table = router.NewLazyTable(n.topo, inj.Alive)
 	inj.OnChange(func() {
-		n.table = router.BuildTable(n.topo, inj.Alive)
+		n.table.Invalidate()
 		n.repaths.Inc()
 	})
 }
@@ -382,7 +387,7 @@ func (n *Network) attemptForward(p *pearl.Process, msg *Message, pktBytes uint32
 			releaseHeld()
 			return false
 		}
-		next := n.topo.Neighbors(at)[port]
+		next := n.topo.Neighbor(at, port)
 		vc := 0
 		if rc.Switching == router.Wormhole {
 			// Dateline virtual-channel selection, per dimension.

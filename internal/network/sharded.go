@@ -63,7 +63,7 @@ type ShardedNetwork struct {
 type netShard struct {
 	k     *pearl.Kernel
 	inj   *fault.Injector
-	table *router.Table // re-pathing table over this shard's replica
+	table *router.LazyTable // re-pathing table over this shard's replica
 	tl    *probe.Timeline
 
 	msgLatency stats.Histogram
@@ -172,7 +172,8 @@ func NewSharded(group *pearl.ShardGroup, envs []sim.Env, cfg Config, part []int)
 	n.links = make([]*slink, topo.Nodes()*n.deg)
 	for node := 0; node < topo.Nodes(); node++ {
 		owner := n.shards[part[node]]
-		for port, nb := range topo.Neighbors(node) {
+		for port := 0; port < n.deg; port++ {
+			nb := topo.Neighbor(node, port)
 			if nb < 0 {
 				continue
 			}
@@ -218,8 +219,9 @@ func (n *ShardedNetwork) AttachFaults(injs []*fault.Injector, envs []sim.Env, se
 		reg.Counter("net.retransmits", &sh.retransmits)
 		reg.Counter("net.lost", &sh.lost)
 		reg.Counter("net.repaths", &sh.repaths)
+		sh.table = router.NewLazyTable(n.topo, sh.inj.Alive)
 		sh.inj.OnChange(func() {
-			sh.table = router.BuildTable(n.topo, sh.inj.Alive)
+			sh.table.Invalidate()
 			sh.repaths.Inc()
 		})
 	}

@@ -33,8 +33,10 @@ func ComputeLookahead(t topology.Topology, part []int, shards int, perHop pearl.
 			la.Pairs[i][j] = pearl.Forever
 		}
 	}
+	deg := t.Degree()
 	for node := 0; node < t.Nodes(); node++ {
-		for _, nb := range t.Neighbors(node) {
+		for port := 0; port < deg; port++ {
+			nb := t.Neighbor(node, port)
 			if nb < 0 || part[node] == part[nb] {
 				continue
 			}

@@ -1,6 +1,8 @@
 package router
 
 import (
+	"fmt"
+
 	"mermaid/internal/topology"
 )
 
@@ -22,11 +24,22 @@ type Table struct {
 	next []int16
 }
 
+// MaxEagerTableNodes caps BuildTable: the eager table is O(N²) in both time
+// and memory (a 100k-node machine would silently allocate a 20 GB next-hop
+// array), so above this threshold BuildTable refuses and callers must use
+// the per-destination LazyTable backend instead.
+const MaxEagerTableNodes = 8192
+
 // BuildTable computes next-hop ports for every (node, destination) pair over
 // the links for which alive(node, port) is true. A nil alive means every
-// connected port is alive.
-func BuildTable(t topology.Topology, alive func(node, port int) bool) *Table {
+// connected port is alive. Topologies above MaxEagerTableNodes are rejected
+// with an error naming the lazy alternative.
+func BuildTable(t topology.Topology, alive func(node, port int) bool) (*Table, error) {
 	n := t.Nodes()
+	if n > MaxEagerTableNodes {
+		return nil, fmt.Errorf("router: eager table for %d nodes is O(N²) = %d entries; above %d nodes use NewLazyTable",
+			n, n*n, MaxEagerTableNodes)
+	}
 	tb := &Table{nodes: n, next: make([]int16, n*n)}
 	for i := range tb.next {
 		tb.next[i] = -1
@@ -39,8 +52,10 @@ func BuildTable(t topology.Topology, alive func(node, port int) bool) *Table {
 		port int16
 	}
 	rev := make([][]inEdge, n)
+	deg := t.Degree()
 	for v := 0; v < n; v++ {
-		for port, u := range t.Neighbors(v) {
+		for port := 0; port < deg; port++ {
+			u := t.Neighbor(v, port)
 			if u < 0 {
 				continue
 			}
@@ -80,7 +95,7 @@ func BuildTable(t topology.Topology, alive func(node, port int) bool) *Table {
 			}
 		}
 	}
-	return tb
+	return tb, nil
 }
 
 // Port returns the output port at `at` towards `to`, or -1 when `to` is

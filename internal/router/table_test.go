@@ -15,6 +15,15 @@ func mustTopo(t *testing.T, cfg topology.Config) topology.Topology {
 	return topo
 }
 
+func mustBuild(t *testing.T, topo topology.Topology, alive func(node, port int) bool) *Table {
+	t.Helper()
+	tb, err := BuildTable(topo, alive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tb
+}
+
 // walk follows the table from `at` to `to`, returning the hop count, and
 // fails the test on a dead end or a loop.
 func walk(t *testing.T, topo topology.Topology, tb *Table, at, to int) int {
@@ -40,7 +49,7 @@ func TestTableHealthyMatchesMinimalRouting(t *testing.T) {
 		{Kind: topology.Hypercube, Nodes: 8},
 	} {
 		topo := mustTopo(t, cfg)
-		tb := BuildTable(topo, nil)
+		tb := mustBuild(t, topo, nil)
 		for from := 0; from < topo.Nodes(); from++ {
 			for to := 0; to < topo.Nodes(); to++ {
 				if from == to {
@@ -74,7 +83,7 @@ func TestTableRoutesAroundDeadLink(t *testing.T) {
 		nb := topo.Neighbors(node)[port]
 		return (node == 0 && nb == 1) || (node == 1 && nb == 0)
 	}
-	tb := BuildTable(topo, func(node, port int) bool { return !dead(node, port) })
+	tb := mustBuild(t, topo, func(node, port int) bool { return !dead(node, port) })
 	// Every pair stays reachable, and no route crosses the dead link.
 	for from := 0; from < 4; from++ {
 		for to := 0; to < 4; to++ {
@@ -112,7 +121,7 @@ func TestTableUnreachableAndSelf(t *testing.T) {
 		}
 		return !cut(1, 2) && !cut(3, 0)
 	}
-	tb := BuildTable(topo, alive)
+	tb := mustBuild(t, topo, alive)
 	if tb.Port(0, 2) != -1 || tb.Reachable(0, 2) {
 		t.Error("node 2 reachable from 0 across the partition")
 	}
@@ -126,8 +135,8 @@ func TestTableUnreachableAndSelf(t *testing.T) {
 
 func TestTableRebuildIsDeterministic(t *testing.T) {
 	topo := mustTopo(t, topology.Config{Kind: topology.Torus2D, DimX: 4, DimY: 4})
-	a := BuildTable(topo, nil)
-	b := BuildTable(topo, nil)
+	a := mustBuild(t, topo, nil)
+	b := mustBuild(t, topo, nil)
 	for from := 0; from < topo.Nodes(); from++ {
 		for to := 0; to < topo.Nodes(); to++ {
 			if a.Port(from, to) != b.Port(from, to) {

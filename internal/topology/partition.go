@@ -36,9 +36,10 @@ func Shards(part []int) int {
 // traffic. A partition diagnostic for tests and tuning.
 func CrossLinks(t Topology, part []int) int {
 	cut := 0
+	deg := t.Degree()
 	for node := 0; node < t.Nodes(); node++ {
-		for _, nb := range t.Neighbors(node) {
-			if nb >= 0 && part[node] != part[nb] {
+		for port := 0; port < deg; port++ {
+			if nb := t.Neighbor(node, port); nb >= 0 && part[node] != part[nb] {
 				cut++
 			}
 		}

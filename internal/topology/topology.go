@@ -1,9 +1,16 @@
 // Package topology describes the physical interconnect of the multicomputer:
 // how the nodes of the multi-node communication model (Fig. 3b) are wired
 // together, and the deterministic minimal routing function the routers use.
-// Provided shapes: ring, 2-D mesh, 2-D torus, hypercube, star and fully
-// connected; all are parameterised by size, per the workbench goal of
-// evaluating a wide range of design options.
+// Provided shapes: ring, 2-D mesh, 2-D torus, 3-D torus, hypercube, star,
+// fully connected, k-ary fat-tree and dragonfly; all are parameterised by
+// size, per the workbench goal of evaluating a wide range of design options.
+//
+// Every family is generator-backed: the wiring is a closed-form function of
+// the node id, so no adjacency structure is ever materialised and a
+// million-node machine costs a few words of memory. Hot paths (routers, the
+// fault injector, the network forward loop) use the allocation-free
+// Neighbor(node, port) form; Neighbors remains for construction-time and
+// diagnostic code.
 package topology
 
 import "fmt"
@@ -12,15 +19,22 @@ import "fmt"
 // Ports are small integers local to a node; Neighbors maps ports to node
 // ids. Route returns the output port for a packet at `at` heading to `to`
 // along a minimal deterministic path (dimension-order on meshes/tori, e-cube
-// on hypercubes).
+// on hypercubes, up*/down* on fat-trees, minimal group routing on
+// dragonflies).
 type Topology interface {
 	Name() string
 	Nodes() int
 	// Degree is the maximum number of ports on any node.
 	Degree() int
 	// Neighbors returns, for each port of the node, the node on the other
-	// end, or -1 for an unconnected port (mesh edges, star leaves).
+	// end, or -1 for an unconnected port (mesh edges, star leaves). The
+	// slice may be built per call; hot paths use Neighbor instead.
 	Neighbors(node int) []int
+	// Neighbor returns the node at the far end of `port`, or -1 when the
+	// port is unconnected or out of range. It is O(1) and never allocates:
+	// for port < len(Neighbors(node)) it equals Neighbors(node)[port], and
+	// it returns -1 for every port in [len(Neighbors(node)), Degree()).
+	Neighbor(node, port int) int
 	// Route returns the output port at node `at` towards node `to`.
 	// at == to is invalid.
 	Route(at, to int) int
@@ -48,10 +62,20 @@ const (
 	Ring           Kind = "ring"
 	Mesh2D         Kind = "mesh"
 	Torus2D        Kind = "torus"
+	Torus3D        Kind = "torus3d"
 	Hypercube      Kind = "hypercube"
 	Star           Kind = "star"
 	FullyConnected Kind = "full"
+	FatTree        Kind = "fattree"
+	Dragonfly      Kind = "dragonfly"
 )
+
+// Hierarchical reports whether k is one of the generator-backed hierarchical
+// families added for large-machine studies (torus3d, fattree, dragonfly) —
+// the topologies gated to machine-configuration schema v2.
+func Hierarchical(k Kind) bool {
+	return k == Torus3D || k == FatTree || k == Dragonfly
+}
 
 // Config selects and sizes a topology.
 type Config struct {
@@ -59,8 +83,16 @@ type Config struct {
 	// Nodes is the node count (ring, hypercube, star, full). For hypercubes
 	// it must be a power of two.
 	Nodes int
-	// DimX and DimY size meshes and tori.
+	// DimX and DimY size meshes and tori; DimZ additionally sizes 3-D tori.
 	DimX, DimY int
+	DimZ       int
+	// Arity and Levels size k-ary fat-trees: Arity hosts per leaf switch
+	// (a power of two) and Levels switch tiers. See NewFatTree.
+	Arity, Levels int
+	// Routers, Globals and Groups size dragonflies: Routers per group,
+	// Globals (global links) per router, Groups in the machine. See
+	// NewDragonfly.
+	Routers, Globals, Groups int
 }
 
 // New builds the configured topology.
@@ -72,14 +104,36 @@ func New(cfg Config) (Topology, error) {
 		return NewMesh(cfg.DimX, cfg.DimY)
 	case Torus2D:
 		return NewTorus(cfg.DimX, cfg.DimY)
+	case Torus3D:
+		return NewTorus3D(cfg.DimX, cfg.DimY, cfg.DimZ)
 	case Hypercube:
 		return NewHypercube(cfg.Nodes)
 	case Star:
 		return NewStar(cfg.Nodes)
 	case FullyConnected:
 		return NewFull(cfg.Nodes)
+	case FatTree:
+		return NewFatTree(cfg.Arity, cfg.Levels)
+	case Dragonfly:
+		return NewDragonfly(cfg.Routers, cfg.Globals, cfg.Groups)
 	}
 	return nil, fmt.Errorf("topology: unknown kind %q", cfg.Kind)
+}
+
+// NeighborsInto fills buf with the far end of every port of `node` and
+// returns it, growing buf only when its capacity is below Degree(). The
+// result always has Degree() entries with -1 for unconnected ports — the
+// allocation-free counterpart of Neighbors for callers that iterate ports.
+func NeighborsInto(t Topology, node int, buf []int) []int {
+	deg := t.Degree()
+	if cap(buf) < deg {
+		buf = make([]int, deg)
+	}
+	buf = buf[:deg]
+	for p := 0; p < deg; p++ {
+		buf[p] = t.Neighbor(node, p)
+	}
+	return buf
 }
 
 // Distance returns the hop count of the path Route actually takes from a to
@@ -90,7 +144,7 @@ func Distance(t Topology, a, b int) int {
 	at := a
 	for at != b {
 		port := t.Route(at, b)
-		next := t.Neighbors(at)[port]
+		next := t.Neighbor(at, port)
 		if next < 0 {
 			panic(fmt.Sprintf("topology %s: route from %d to %d via dead port %d", t.Name(), at, b, port))
 		}
@@ -166,6 +220,15 @@ func (r *ring) Nodes() int   { return r.n }
 func (r *ring) Degree() int  { return 2 }
 func (r *ring) Neighbors(node int) []int {
 	return []int{(node + 1) % r.n, (node - 1 + r.n) % r.n}
+}
+func (r *ring) Neighbor(node, port int) int {
+	switch port {
+	case 0:
+		return (node + 1) % r.n
+	case 1:
+		return (node - 1 + r.n) % r.n
+	}
+	return -1
 }
 func (r *ring) Route(at, to int) int {
 	fwd := (to - at + r.n) % r.n
@@ -251,6 +314,50 @@ func (m *mesh) Neighbors(node int) []int {
 		}
 	}
 	return nb
+}
+
+func (m *mesh) Neighbor(node, port int) int {
+	x, y := m.coords(node)
+	if m.wrap {
+		switch port {
+		case east:
+			if m.w > 1 {
+				return m.id((x+1)%m.w, y)
+			}
+		case west:
+			if m.w > 1 {
+				return m.id((x-1+m.w)%m.w, y)
+			}
+		case north:
+			if m.h > 1 {
+				return m.id(x, (y+1)%m.h)
+			}
+		case south:
+			if m.h > 1 {
+				return m.id(x, (y-1+m.h)%m.h)
+			}
+		}
+		return -1
+	}
+	switch port {
+	case east:
+		if x+1 < m.w {
+			return m.id(x+1, y)
+		}
+	case west:
+		if x > 0 {
+			return m.id(x-1, y)
+		}
+	case north:
+		if y+1 < m.h {
+			return m.id(x, y+1)
+		}
+	case south:
+		if y > 0 {
+			return m.id(x, y-1)
+		}
+	}
+	return -1
 }
 
 // Route implements dimension-order (XY) routing: correct x first, then y.
@@ -341,6 +448,12 @@ func (h *hypercube) Neighbors(node int) []int {
 	}
 	return nb
 }
+func (h *hypercube) Neighbor(node, port int) int {
+	if port < 0 || port >= h.dim {
+		return -1
+	}
+	return node ^ (1 << port)
+}
 func (h *hypercube) Route(at, to int) int {
 	diff := at ^ to
 	if diff == 0 {
@@ -379,6 +492,18 @@ func (s *star) Neighbors(node int) []int {
 	}
 	return []int{0}
 }
+func (s *star) Neighbor(node, port int) int {
+	if node == 0 {
+		if port >= 0 && port < s.n-1 {
+			return port + 1
+		}
+		return -1
+	}
+	if port == 0 {
+		return 0
+	}
+	return -1
+}
 func (s *star) Route(at, to int) int {
 	if at == to {
 		panic("topology: Route(at, at)")
@@ -412,6 +537,15 @@ func (f *full) Neighbors(node int) []int {
 		}
 	}
 	return nb
+}
+func (f *full) Neighbor(node, port int) int {
+	if port < 0 || port >= f.n-1 {
+		return -1
+	}
+	if port < node {
+		return port
+	}
+	return port + 1
 }
 func (f *full) Route(at, to int) int {
 	if at == to {

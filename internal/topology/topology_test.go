@@ -20,6 +20,9 @@ func all(t *testing.T) []Topology {
 	mk(NewHypercube(16))
 	mk(NewStar(6))
 	mk(NewFull(5))
+	mk(NewTorus3D(3, 4, 2))
+	mk(NewFatTree(4, 2))
+	mk(NewDragonfly(2, 2, 5))
 	return out
 }
 
