@@ -1,8 +1,11 @@
 package analysis
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
+	"hash/fnv"
+	"io"
 	"math"
 	"net"
 	"net/http"
@@ -15,28 +18,26 @@ import (
 	"mermaid/internal/probe"
 )
 
-// Monitor serves live run state over HTTP while a simulation executes:
-// GET /metrics returns the probe registry in Prometheus text exposition
-// format, GET /progress returns a JSON snapshot of virtual time, wall time,
-// event throughput and experiment completion.
+// Scope is the live state of one monitored simulation: a mutex-protected
+// snapshot that the simulation side writes (from its own goroutine, or from
+// farm workers via ObserveRun/RunDone) and any number of HTTP handlers read.
 //
-// The simulation goroutine owns the kernel and registry; the monitor never
-// touches them from handler goroutines. Instead Watch installs a daemon event
-// that periodically copies the interesting values into a mutex-protected
-// snapshot, and the HTTP handlers serve from that snapshot. Daemon events
-// never keep a run alive, so an attached monitor does not perturb
-// termination — or any other aspect of the simulation's virtual time.
+// A Monitor owns one process-wide scope — the single-invocation CLI case —
+// while the simulation server gives every job its own scope, so two jobs
+// running concurrently report independent progress and metrics streams.
 //
-// A nil *Monitor is the disabled monitor: every method no-ops without
+// A nil *Scope is the disabled scope: every method no-ops without
 // allocating.
-type Monitor struct {
-	ln  net.Listener
-	srv *http.Server
-
+type Scope struct {
 	mu   sync.Mutex
 	snap snapshot
 
 	started time.Time
+}
+
+// NewScope returns an empty scope whose wall clock starts now.
+func NewScope() *Scope {
+	return &Scope{started: time.Now()}
 }
 
 // snapshot is what the handlers may read: plain values copied out of the
@@ -67,6 +68,168 @@ type progressJSON struct {
 	Done          bool    `json:"done"`
 }
 
+// Watch installs a self-rescheduling daemon event on the kernel that samples
+// the kernel and registry every `every` cycles of virtual time. Call from the
+// simulation goroutine before Run. Daemon events never keep a run alive, so
+// watching does not perturb termination — or any other aspect of the
+// simulation's virtual time.
+func (s *Scope) Watch(k *pearl.Kernel, reg *probe.Registry, every pearl.Time) {
+	if s == nil || k == nil || every <= 0 {
+		return
+	}
+	var tick func()
+	tick = func() {
+		s.Sample(k, reg)
+		k.AtDaemon(k.Now()+every, tick)
+	}
+	k.AtDaemon(k.Now()+every, tick)
+}
+
+// Sample copies the current kernel and registry state into the snapshot.
+// Watch calls it periodically; callers that need the exact end-of-run values
+// (the daemon tick may predate the last event) call it once more after the
+// run completes. Must run on the simulation goroutine.
+func (s *Scope) Sample(k *pearl.Kernel, reg *probe.Registry) {
+	if s == nil {
+		return
+	}
+	var ms []metricSample
+	if n := reg.Len(); n > 0 {
+		ms = make([]metricSample, 0, n)
+		for _, e := range reg.Entries() {
+			ms = append(ms, metricSample{name: e.Name, unit: e.Unit, value: e.Read()})
+		}
+	}
+	s.mu.Lock()
+	s.snap.virtual = int64(k.Now())
+	s.snap.events = k.EventCount()
+	s.snap.metrics = ms
+	s.mu.Unlock()
+}
+
+// ObserveRun accumulates a completed run's simulated volume into the
+// snapshot — the farm path's progress feed, where no single kernel can be
+// watched. Safe to call from worker goroutines.
+func (s *Scope) ObserveRun(cycles pearl.Time, events uint64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.snap.virtual += int64(cycles)
+	s.snap.events += events
+	s.mu.Unlock()
+}
+
+// SetRuns declares how many runs (experiments × repeats) the scope covers,
+// for the completion fraction in /progress.
+func (s *Scope) SetRuns(n int) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.snap.runsTotal = n
+	s.mu.Unlock()
+}
+
+// RunDone marks one run complete. Safe to call from farm worker goroutines.
+func (s *Scope) RunDone() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.snap.runsDone++
+	s.mu.Unlock()
+}
+
+// Finish marks the scope's work complete; progress reports done:true.
+func (s *Scope) Finish() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.snap.finished = true
+	s.mu.Unlock()
+}
+
+// WriteMetrics renders the scope's last sampled state in Prometheus text
+// exposition format: the virtual clock, the event count, and every registry
+// metric under a collision-free mermaid_-prefixed name.
+func (s *Scope) WriteMetrics(w io.Writer) error {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	ms := make([]metricSample, len(s.snap.metrics))
+	copy(ms, s.snap.metrics)
+	virtual := s.snap.virtual
+	events := s.snap.events
+	s.mu.Unlock()
+
+	sort.SliceStable(ms, func(i, j int) bool { return ms[i].name < ms[j].name })
+	names := make([]string, len(ms))
+	for i := range ms {
+		names[i] = ms[i].name
+	}
+	if _, err := fmt.Fprintf(w, "# TYPE mermaid_virtual_cycles gauge\nmermaid_virtual_cycles %d\n", virtual); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "# TYPE mermaid_events_total counter\nmermaid_events_total %d\n", events); err != nil {
+		return err
+	}
+	for i, n := range promNames(names) {
+		if ms[i].unit != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s unit: %s\n", n, ms[i].unit); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %g\n", n, n, ms[i].value); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteProgress renders the scope's completion state as the /progress JSON
+// document.
+func (s *Scope) WriteProgress(w io.Writer) error {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	p := progressJSON{
+		VirtualCycles: s.snap.virtual,
+		Events:        s.snap.events,
+		RunsDone:      s.snap.runsDone,
+		RunsTotal:     s.snap.runsTotal,
+		Done:          s.snap.finished,
+	}
+	started := s.started
+	s.mu.Unlock()
+	p.WallSeconds = time.Since(started).Seconds()
+	p.EventsPerSec = eventsPerSec(p.Events, p.WallSeconds)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(p)
+}
+
+// Monitor serves live run state over HTTP while a simulation executes:
+// GET /metrics returns the probe registry in Prometheus text exposition
+// format, GET /progress returns a JSON snapshot of virtual time, wall time,
+// event throughput and experiment completion.
+//
+// The simulation goroutine owns the kernel and registry; the monitor never
+// touches them from handler goroutines. Instead its Scope periodically
+// copies the interesting values into a mutex-protected snapshot, and the
+// HTTP handlers serve from that snapshot.
+//
+// A nil *Monitor is the disabled monitor: every method no-ops without
+// allocating.
+type Monitor struct {
+	ln    net.Listener
+	srv   *http.Server
+	scope *Scope
+}
+
 // NewMonitor starts serving on addr (host:port; port 0 picks a free port).
 // Returns an error if the address cannot be bound.
 func NewMonitor(addr string) (*Monitor, error) {
@@ -74,7 +237,7 @@ func NewMonitor(addr string) (*Monitor, error) {
 	if err != nil {
 		return nil, err
 	}
-	m := &Monitor{ln: ln, started: time.Now()}
+	m := &Monitor{ln: ln, scope: NewScope()}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", m.handleMetrics)
 	mux.HandleFunc("/progress", m.handleProgress)
@@ -91,95 +254,84 @@ func (m *Monitor) Addr() string {
 	return m.ln.Addr().String()
 }
 
+// Scope returns the monitor's process-wide scope, or nil on a nil monitor.
+func (m *Monitor) Scope() *Scope {
+	if m == nil {
+		return nil
+	}
+	return m.scope
+}
+
 // Watch installs a self-rescheduling daemon event on the kernel that samples
 // the kernel and registry every `every` cycles of virtual time. Call from the
 // simulation goroutine before Run.
 func (m *Monitor) Watch(k *pearl.Kernel, reg *probe.Registry, every pearl.Time) {
-	if m == nil || k == nil || every <= 0 {
-		return
-	}
-	var tick func()
-	tick = func() {
-		m.sample(k, reg)
-		k.AtDaemon(k.Now()+every, tick)
-	}
-	k.AtDaemon(k.Now()+every, tick)
+	m.Scope().Watch(k, reg, every)
 }
 
-// sample copies the current kernel and registry state into the snapshot.
-// Must run on the simulation goroutine.
-func (m *Monitor) sample(k *pearl.Kernel, reg *probe.Registry) {
-	if m == nil {
-		return
-	}
-	var ms []metricSample
-	if n := reg.Len(); n > 0 {
-		ms = make([]metricSample, 0, n)
-		for _, e := range reg.Entries() {
-			ms = append(ms, metricSample{name: e.Name, unit: e.Unit, value: e.Read()})
-		}
-	}
-	m.mu.Lock()
-	m.snap.virtual = int64(k.Now())
-	m.snap.events = k.EventCount()
-	m.snap.metrics = ms
-	m.mu.Unlock()
-}
-
-// ObserveRun accumulates a completed run's simulated volume into the
-// snapshot — the farm path's progress feed, where no single kernel can be
-// watched. Safe to call from worker goroutines.
+// ObserveRun accumulates a completed run's simulated volume. Safe to call
+// from worker goroutines.
 func (m *Monitor) ObserveRun(cycles pearl.Time, events uint64) {
-	if m == nil {
-		return
-	}
-	m.mu.Lock()
-	m.snap.virtual += int64(cycles)
-	m.snap.events += events
-	m.mu.Unlock()
+	m.Scope().ObserveRun(cycles, events)
 }
 
 // SetRuns declares how many runs (experiments × repeats) the invocation will
 // execute, for the completion fraction in /progress.
-func (m *Monitor) SetRuns(n int) {
-	if m == nil {
-		return
-	}
-	m.mu.Lock()
-	m.snap.runsTotal = n
-	m.mu.Unlock()
-}
+func (m *Monitor) SetRuns(n int) { m.Scope().SetRuns(n) }
 
 // RunDone marks one run complete. Safe to call from farm worker goroutines.
-func (m *Monitor) RunDone() {
-	if m == nil {
-		return
-	}
-	m.mu.Lock()
-	m.snap.runsDone++
-	m.mu.Unlock()
-}
+func (m *Monitor) RunDone() { m.Scope().RunDone() }
 
 // Finish marks the whole invocation complete; /progress reports done:true.
-func (m *Monitor) Finish() {
-	if m == nil {
-		return
-	}
-	m.mu.Lock()
-	m.snap.finished = true
-	m.mu.Unlock()
-}
+func (m *Monitor) Finish() { m.Scope().Finish() }
 
-// Close shuts the HTTP server down. Safe on nil.
+// closeDeadline bounds how long Close waits for in-flight scrapes.
+const closeDeadline = 2 * time.Second
+
+// Close shuts the HTTP server down gracefully: the listener closes
+// immediately (no new scrapes), but requests already being answered run to
+// completion, so the final scrape of a finished run is never truncated
+// mid-response. A client that still has not drained its response at the
+// deadline is cut off hard so Close can never hang the process.
 func (m *Monitor) Close() error {
 	if m == nil {
 		return nil
 	}
-	return m.srv.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), closeDeadline)
+	defer cancel()
+	if err := m.srv.Shutdown(ctx); err != nil {
+		return m.srv.Close()
+	}
+	return nil
 }
 
-// promName converts a dotted registry metric name to a Prometheus-legal one.
-func promName(name string) string {
+// promNames converts dotted registry metric names to Prometheus-legal,
+// mermaid_-prefixed ones. Alphanumerics pass through and every other rune
+// becomes '_' — familiar, but lossy: distinct registry names like
+// "node0.cache.l1d" and "node0_cache.l1d" would fold into one Prometheus
+// name, and scrapers reject expositions with duplicate metric names. Any
+// group of input names whose sanitized forms collide therefore gets a
+// disambiguating suffix — '_' plus the FNV-1a hash of the original name —
+// on every member, keeping the common case pretty and the mapping
+// deterministic and injective (up to FNV collisions within one group).
+func promNames(names []string) []string {
+	out := make([]string, len(names))
+	count := make(map[string]int, len(names))
+	for i, n := range names {
+		out[i] = sanitizeProm(n)
+		count[out[i]]++
+	}
+	for i, n := range names {
+		if count[out[i]] > 1 {
+			h := fnv.New32a()
+			io.WriteString(h, n) //nolint:errcheck // hash writes cannot fail
+			out[i] = fmt.Sprintf("%s_%08x", out[i], h.Sum32())
+		}
+	}
+	return out
+}
+
+func sanitizeProm(name string) string {
 	var b strings.Builder
 	b.WriteString("mermaid_")
 	for _, r := range name {
@@ -193,25 +345,39 @@ func promName(name string) string {
 	return b.String()
 }
 
-func (m *Monitor) handleMetrics(w http.ResponseWriter, _ *http.Request) {
-	m.mu.Lock()
-	ms := make([]metricSample, len(m.snap.metrics))
-	copy(ms, m.snap.metrics)
-	virtual := m.snap.virtual
-	events := m.snap.events
-	m.mu.Unlock()
-
-	sort.SliceStable(ms, func(i, j int) bool { return ms[i].name < ms[j].name })
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	fmt.Fprintf(w, "# TYPE mermaid_virtual_cycles gauge\nmermaid_virtual_cycles %d\n", virtual)
-	fmt.Fprintf(w, "# TYPE mermaid_events_total counter\nmermaid_events_total %d\n", events)
-	for _, s := range ms {
-		n := promName(s.name)
-		if s.unit != "" {
-			fmt.Fprintf(w, "# HELP %s unit: %s\n", n, s.unit)
-		}
-		fmt.Fprintf(w, "# TYPE %s gauge\n%s %g\n", n, n, s.value)
+// WriteRegistryMetrics renders the registry's current values in Prometheus
+// text exposition format with the same collision-free naming as a scope's
+// metrics. Unlike a Scope — which serves values sampled on the simulation
+// goroutine — this reads the registry's gauges directly, so it is only for
+// registries whose readers are safe to call from HTTP handlers (the
+// simulation server's own service counters, not a live machine model).
+func WriteRegistryMetrics(w io.Writer, reg *probe.Registry) error {
+	entries := reg.Entries()
+	ms := make([]metricSample, 0, len(entries))
+	for _, e := range entries {
+		ms = append(ms, metricSample{name: e.Name, unit: e.Unit, value: e.Read()})
 	}
+	sort.SliceStable(ms, func(i, j int) bool { return ms[i].name < ms[j].name })
+	names := make([]string, len(ms))
+	for i := range ms {
+		names[i] = ms[i].name
+	}
+	for i, n := range promNames(names) {
+		if ms[i].unit != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s unit: %s\n", n, ms[i].unit); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %g\n", n, n, ms[i].value); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (m *Monitor) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	m.scope.WriteMetrics(w) //nolint:errcheck // best-effort over HTTP
 }
 
 // eventsPerSec computes the host event throughput, reporting 0 when the
@@ -230,19 +396,6 @@ func eventsPerSec(events uint64, wallSeconds float64) float64 {
 }
 
 func (m *Monitor) handleProgress(w http.ResponseWriter, _ *http.Request) {
-	m.mu.Lock()
-	p := progressJSON{
-		VirtualCycles: m.snap.virtual,
-		Events:        m.snap.events,
-		RunsDone:      m.snap.runsDone,
-		RunsTotal:     m.snap.runsTotal,
-		Done:          m.snap.finished,
-	}
-	m.mu.Unlock()
-	p.WallSeconds = time.Since(m.started).Seconds()
-	p.EventsPerSec = eventsPerSec(p.Events, p.WallSeconds)
 	w.Header().Set("Content-Type", "application/json")
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	enc.Encode(p) //nolint:errcheck // best-effort over HTTP
+	m.scope.WriteProgress(w) //nolint:errcheck // best-effort over HTTP
 }

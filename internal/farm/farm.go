@@ -33,6 +33,13 @@ type Job struct {
 	// self-contained: build the machine, run it, extract what the caller
 	// needs. It must not share mutable state with other jobs.
 	Run func(rc *RunContext) (any, error)
+	// OnResult, when non-nil, receives this job's completed runs — the
+	// job-scoped counterpart of Pool.OnResult, so different jobs sharing one
+	// pool or queue can feed different observers (the simulation server
+	// gives every HTTP job its own monitor scope). It is called from worker
+	// goroutines, before the pool-level hook, and must be safe for
+	// concurrent use; it observes results, it cannot change them.
+	OnResult func(Result)
 }
 
 // RunContext identifies one run within a batch and collects its simulated
@@ -160,6 +167,9 @@ func (p *Pool) Run(jobs []Job) *Report {
 				res.Wall = time.Since(t0)
 				res.Cycles, res.Events = rc.cycles, rc.events
 				rep.Results[i] = res
+				if job.OnResult != nil {
+					job.OnResult(res)
+				}
 				if p.OnResult != nil {
 					p.OnResult(res)
 				}

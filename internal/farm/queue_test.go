@@ -1,0 +1,152 @@
+package farm_test
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"mermaid/internal/farm"
+)
+
+// The queue runs every submitted job exactly once, delivers each result
+// through the job-scoped hook before the pool-level hook, and preserves the
+// submitted seed (service jobs are cache-addressed by seed, so the queue
+// must not derive its own).
+func TestQueueRunsSubmittedJobs(t *testing.T) {
+	var jobHook, poolHook atomic.Uint64
+	var mu sync.Mutex
+	seeds := map[uint64]bool{}
+
+	p := farm.New(4)
+	p.OnResult = func(res farm.Result) {
+		// Per-run ordering: this run's job-scoped hook already recorded its
+		// seed before the pool-level hook fires.
+		mu.Lock()
+		seen := seeds[res.Seed]
+		mu.Unlock()
+		if !seen {
+			t.Errorf("pool hook for seed %d ran before the job hook", res.Seed)
+		}
+		poolHook.Add(1)
+	}
+	q := p.StartQueue(64)
+	const n = 32
+	for i := 0; i < n; i++ {
+		seed := uint64(1000 + i)
+		err := q.Submit(farm.Job{
+			Name: "t",
+			Run: func(rc *farm.RunContext) (any, error) {
+				return rc.Seed, nil
+			},
+			OnResult: func(res farm.Result) {
+				jobHook.Add(1)
+				mu.Lock()
+				seeds[res.Value.(uint64)] = true
+				mu.Unlock()
+				if res.Seed != res.Value.(uint64) {
+					t.Errorf("run saw seed %d, result says %d", res.Value, res.Seed)
+				}
+			},
+		}, seed)
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	q.Close()
+	if jobHook.Load() != n || poolHook.Load() != n {
+		t.Fatalf("hooks ran %d/%d times, want %d", jobHook.Load(), poolHook.Load(), n)
+	}
+	for i := 0; i < n; i++ {
+		if !seeds[uint64(1000+i)] {
+			t.Errorf("seed %d never ran", 1000+i)
+		}
+	}
+}
+
+// A full queue refuses immediately with ErrQueueFull — the server's
+// back-pressure signal — and a closed queue with ErrQueueClosed.
+func TestQueueBackpressure(t *testing.T) {
+	release := make(chan struct{})
+	p := farm.New(1)
+	q := p.StartQueue(1)
+	block := farm.Job{Name: "block", Run: func(*farm.RunContext) (any, error) {
+		<-release
+		return nil, nil
+	}}
+	// First submission occupies the worker (eventually), second the queue
+	// slot; submit until both are full, then expect refusal.
+	if err := q.Submit(block, 0); err != nil {
+		t.Fatal(err)
+	}
+	// The worker may not have dequeued the first job yet, so full means
+	// two accepted submissions in the worst case — the third must refuse.
+	full := 0
+	for i := 0; i < 3; i++ {
+		if err := q.Submit(block, uint64(i)); errors.Is(err, farm.ErrQueueFull) {
+			full++
+		}
+	}
+	if full == 0 {
+		t.Error("queue of depth 1 accepted 4 concurrent submissions")
+	}
+	close(release)
+	q.Close()
+	if err := q.Submit(block, 9); !errors.Is(err, farm.ErrQueueClosed) {
+		t.Errorf("submit after close = %v, want ErrQueueClosed", err)
+	}
+	q.Close() // idempotent
+}
+
+// A panicking queued job is isolated into its result's Err, like the batch
+// path: one bad simulation must not take down the serving process.
+func TestQueuePanicIsolation(t *testing.T) {
+	var got error
+	done := make(chan struct{})
+	p := farm.New(2)
+	q := p.StartQueue(4)
+	err := q.Submit(farm.Job{
+		Name: "boom",
+		Run:  func(*farm.RunContext) (any, error) { panic("kaboom") },
+		OnResult: func(res farm.Result) {
+			got = res.Err
+			close(done)
+		},
+	}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-done
+	q.Close()
+	if got == nil || !strings.Contains(got.Error(), "panicked") {
+		t.Fatalf("panic was not captured in the result: %v", got)
+	}
+}
+
+// Job-scoped hooks fire concurrently from many workers; every job keeps its
+// own observer. Run under -race in CI's server job.
+func TestJobScopedHooksConcurrent(t *testing.T) {
+	const jobs = 8
+	var counts [jobs]atomic.Uint64
+	p := farm.New(4)
+	p.Repeats = 5
+	batch := make([]farm.Job, jobs)
+	for i := range batch {
+		i := i
+		batch[i] = farm.Job{
+			Name:     "j",
+			Run:      func(rc *farm.RunContext) (any, error) { return nil, nil },
+			OnResult: func(farm.Result) { counts[i].Add(1) },
+		}
+	}
+	rep := p.Run(batch)
+	if err := rep.Errs(); err != nil {
+		t.Fatal(err)
+	}
+	for i := range counts {
+		if got := counts[i].Load(); got != 5 {
+			t.Errorf("job %d hook ran %d times, want 5", i, got)
+		}
+	}
+}

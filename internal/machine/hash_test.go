@@ -1,0 +1,84 @@
+package machine
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestConfigHashStability(t *testing.T) {
+	a := T805GridTaskLevel(4, 4)
+	b := T805GridTaskLevel(4, 4)
+	ha, err := a.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hb, err := b.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ha != hb {
+		t.Errorf("identical configs hash differently: %s vs %s", ha, hb)
+	}
+	if len(ha) != 64 || strings.ToLower(ha) != ha {
+		t.Errorf("hash is not lowercase sha256 hex: %q", ha)
+	}
+
+	b.Seed = a.Seed + 1
+	hb2, err := b.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hb2 == ha {
+		t.Error("changing the seed did not change the hash")
+	}
+
+	c := T805GridTaskLevel(4, 4)
+	c.Network.Link.PropDelay++
+	hc, err := c.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hc == ha {
+		t.Error("changing a link latency did not change the hash")
+	}
+}
+
+func TestCanonicalJSONHash(t *testing.T) {
+	// Key order and whitespace are insignificant; values are not.
+	h1, err := CanonicalJSONHash([]byte(`{"a": 1, "b": [2, 3]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := CanonicalJSONHash([]byte(`{ "b":[2,3],  "a":1 }`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1 != h2 {
+		t.Error("key order or whitespace changed the canonical hash")
+	}
+	h3, err := CanonicalJSONHash([]byte(`{"a": 1, "b": [2, 4]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h3 == h1 {
+		t.Error("a value change did not change the canonical hash")
+	}
+
+	// Full-precision 64-bit seeds must survive canonicalization: these two
+	// differ only below float64 precision.
+	h4, err := CanonicalJSONHash([]byte(`{"Seed": 9007199254740993}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h5, err := CanonicalJSONHash([]byte(`{"Seed": 9007199254740992}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h4 == h5 {
+		t.Error("64-bit integer precision lost in canonicalization")
+	}
+
+	if _, err := CanonicalJSONHash([]byte(`{"a":`)); err == nil {
+		t.Error("truncated JSON must not hash")
+	}
+}

@@ -55,12 +55,6 @@ func (mon *Monitor) sample() {
 	m := mon.m
 	now := int64(m.k.Now())
 
-	// The sampling event has just been popped: if nothing else is scheduled,
-	// the simulation proper is finished — stop sampling.
-	if m.k.Idle() {
-		return
-	}
-
 	var busU float64
 	if len(m.nodes) > 0 {
 		for _, nd := range m.nodes {
@@ -81,6 +75,14 @@ func (mon *Monitor) sample() {
 	}
 	mon.Events.Append(now, float64(m.k.EventCount()))
 
+	// The sampling event has just been popped: if nothing else is scheduled,
+	// the simulation proper is finished — the sample just taken is the
+	// end-of-run one, so stop rescheduling. (Sampling before this check means
+	// the final interval of every run appears in the series; a run shorter
+	// than one interval still ends with exactly one sample instead of none.)
+	if m.k.Idle() {
+		return
+	}
 	m.k.After(mon.Interval, mon.sample)
 }
 

@@ -51,6 +51,37 @@ func TestMonitorSamples(t *testing.T) {
 	}
 }
 
+// A run shorter than one sampling interval must still end with a sample:
+// the monitor records the end-of-run state before stopping, so the final
+// interval of every run — and the whole of a short run — appears in the
+// series and the CSV instead of being dropped.
+func TestMonitorFinalSample(t *testing.T) {
+	m, err := New(T805GridTaskLevel(2, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon, err := m.EnableMonitoring(1_000_000) // far beyond the run length
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.RunStochastic(stochastic.Desc{
+		Nodes: 4, Level: stochastic.TaskLevel, Seed: 7, Iterations: 1,
+		Phases: []stochastic.Phase{{
+			Duration: 100,
+			Comm:     stochastic.Comm{Pattern: stochastic.NearestNeighbor, Bytes: 64},
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mon.Events.Len() != 1 {
+		t.Fatalf("short run recorded %d samples, want exactly the end-of-run one", mon.Events.Len())
+	}
+	if got := mon.Events.V[0]; got != float64(res.Events) {
+		t.Errorf("final sample saw %v events, run had %d", got, res.Events)
+	}
+}
+
 func TestMonitorDetailedMode(t *testing.T) {
 	m, err := New(T805Grid(2, 1))
 	if err != nil {

@@ -1,0 +1,156 @@
+// Package resultcache is the content-addressed store behind the simulation
+// server. The workbench is deterministic by construction — reports,
+// timelines and bottleneck analyses are byte-identical at any worker or
+// shard count — so the triple (configuration hash, workload hash, seed)
+// completely determines a run's artifacts. That makes finished artifacts
+// cacheable forever: a repeated sweep point, or the same study submitted by
+// a second user, is served from memory without touching a kernel. The cache
+// is what makes heavy traffic from many users cheap.
+package resultcache
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"io"
+	"sync"
+	"sync/atomic"
+
+	"mermaid/internal/probe"
+)
+
+// Key addresses one deterministic run: the machine configuration hash
+// (machine.Config.Hash), the workload description hash
+// (machine.CanonicalJSONHash over the submitted document), and the seed the
+// run executes with. Equal keys imply byte-identical artifacts.
+type Key struct {
+	Config   string
+	Workload string
+	Seed     uint64
+}
+
+// ID returns the cache address: the SHA-256 over an unambiguous encoding
+// of the triple, as hex. Component hashes are length-delimited, so no two
+// distinct triples share an encoding.
+func (k Key) ID() string {
+	h := sha256.New()
+	var n [8]byte
+	binary.LittleEndian.PutUint64(n[:], uint64(len(k.Config)))
+	h.Write(n[:])
+	io.WriteString(h, k.Config) //nolint:errcheck // hash writes cannot fail
+	binary.LittleEndian.PutUint64(n[:], uint64(len(k.Workload)))
+	h.Write(n[:])
+	io.WriteString(h, k.Workload) //nolint:errcheck
+	binary.LittleEndian.PutUint64(n[:], k.Seed)
+	h.Write(n[:])
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Entry holds the finished artifacts of one run, exactly as the server's
+// endpoints deliver them: a cache hit serves bytes equal to what the
+// original run produced.
+type Entry struct {
+	// Report is the rendered text report (GET /jobs/{id}/report).
+	Report []byte
+	// Metrics is the final Prometheus exposition (GET /jobs/{id}/metrics).
+	Metrics []byte
+	// Timeline is the Chrome trace-event JSON (GET /jobs/{id}/timeline).
+	Timeline []byte
+	// Bottleneck is the analysis JSON (GET /jobs/{id}/bottleneck).
+	Bottleneck []byte
+	// Cycles and Events are the run's simulated volume, for progress
+	// reporting on cache hits.
+	Cycles int64
+	Events uint64
+}
+
+// Cache is a bounded in-memory LRU of run artifacts, safe for concurrent
+// use by HTTP handlers and farm workers. Hit, miss and eviction counts are
+// exported through Register for the server's /metrics endpoint.
+type Cache struct {
+	mu   sync.Mutex
+	max  int
+	ll   *list.List // front = most recently used
+	byID map[string]*list.Element
+
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	evictions atomic.Uint64
+}
+
+type lruItem struct {
+	id string
+	e  Entry
+}
+
+// New returns a cache holding at most max entries (values below 1 mean 1).
+func New(max int) *Cache {
+	if max < 1 {
+		max = 1
+	}
+	return &Cache{max: max, ll: list.New(), byID: make(map[string]*list.Element)}
+}
+
+// Register exposes the cache's counters in the given probe registry under
+// stable dotted names, so hit rates are visible wherever the registry is
+// served (the server's /metrics endpoint).
+func (c *Cache) Register(reg *probe.Registry) {
+	reg.Gauge("resultcache.hits", "", func() float64 { return float64(c.hits.Load()) })
+	reg.Gauge("resultcache.misses", "", func() float64 { return float64(c.misses.Load()) })
+	reg.Gauge("resultcache.evictions", "", func() float64 { return float64(c.evictions.Load()) })
+	reg.Gauge("resultcache.entries", "", func() float64 { return float64(c.Len()) })
+}
+
+// Get returns the artifacts stored under the key, counting a hit or a miss
+// and refreshing the entry's recency.
+func (c *Cache) Get(k Key) (Entry, bool) {
+	id := k.ID()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byID[id]
+	if !ok {
+		c.misses.Add(1)
+		return Entry{}, false
+	}
+	c.hits.Add(1)
+	c.ll.MoveToFront(el)
+	return el.Value.(*lruItem).e, true
+}
+
+// Put stores the artifacts under the key, evicting the least recently used
+// entry beyond capacity. Storing an existing key refreshes its artifacts
+// and recency (determinism means the bytes can only be identical anyway).
+func (c *Cache) Put(k Key, e Entry) {
+	id := k.ID()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byID[id]; ok {
+		el.Value.(*lruItem).e = e
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.byID[id] = c.ll.PushFront(&lruItem{id: id, e: e})
+	for c.ll.Len() > c.max {
+		last := c.ll.Back()
+		c.ll.Remove(last)
+		delete(c.byID, last.Value.(*lruItem).id)
+		c.evictions.Add(1)
+	}
+}
+
+// Len returns the number of cached entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Hits returns the number of Gets that found their key.
+func (c *Cache) Hits() uint64 { return c.hits.Load() }
+
+// Misses returns the number of Gets that did not.
+func (c *Cache) Misses() uint64 { return c.misses.Load() }
+
+// Evictions returns the number of entries dropped to capacity.
+func (c *Cache) Evictions() uint64 { return c.evictions.Load() }

@@ -1,0 +1,107 @@
+package resultcache_test
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"mermaid/internal/probe"
+	"mermaid/internal/resultcache"
+)
+
+func TestKeyID(t *testing.T) {
+	a := resultcache.Key{Config: "c1", Workload: "w1", Seed: 7}
+	if a.ID() != a.ID() {
+		t.Fatal("key ID not deterministic")
+	}
+	variants := []resultcache.Key{
+		{Config: "c2", Workload: "w1", Seed: 7},
+		{Config: "c1", Workload: "w2", Seed: 7},
+		{Config: "c1", Workload: "w1", Seed: 8},
+		// The length-delimited encoding must keep component boundaries
+		// unambiguous: moving a byte across the config/workload boundary
+		// is a different triple.
+		{Config: "c1w", Workload: "1", Seed: 7},
+	}
+	for _, v := range variants {
+		if v.ID() == a.ID() {
+			t.Errorf("distinct keys %+v and %+v share an ID", a, v)
+		}
+	}
+	if len(a.ID()) != 64 || strings.ToLower(a.ID()) != a.ID() {
+		t.Errorf("ID is not lowercase sha256 hex: %q", a.ID())
+	}
+}
+
+func TestCacheHitMissAndCounters(t *testing.T) {
+	c := resultcache.New(8)
+	k := resultcache.Key{Config: "c", Workload: "w", Seed: 1}
+	if _, ok := c.Get(k); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put(k, resultcache.Entry{Report: []byte("report"), Cycles: 42, Events: 7})
+	e, ok := c.Get(k)
+	if !ok {
+		t.Fatal("miss after Put")
+	}
+	if string(e.Report) != "report" || e.Cycles != 42 || e.Events != 7 {
+		t.Errorf("entry corrupted: %+v", e)
+	}
+	if c.Hits() != 1 || c.Misses() != 1 {
+		t.Errorf("hits/misses = %d/%d, want 1/1", c.Hits(), c.Misses())
+	}
+
+	pb := probe.New(probe.Config{})
+	c.Register(pb.Registry())
+	if got := pb.Registry().Lookup("resultcache.hits").Read(); got != 1 {
+		t.Errorf("registry hits = %v, want 1", got)
+	}
+	if got := pb.Registry().Lookup("resultcache.entries").Read(); got != 1 {
+		t.Errorf("registry entries = %v, want 1", got)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := resultcache.New(2)
+	k := func(i int) resultcache.Key { return resultcache.Key{Config: "c", Seed: uint64(i)} }
+	c.Put(k(1), resultcache.Entry{})
+	c.Put(k(2), resultcache.Entry{})
+	if _, ok := c.Get(k(1)); !ok { // refresh 1: now 2 is least recent
+		t.Fatal("entry 1 missing")
+	}
+	c.Put(k(3), resultcache.Entry{})
+	if _, ok := c.Get(k(2)); ok {
+		t.Error("least recently used entry survived eviction")
+	}
+	if _, ok := c.Get(k(1)); !ok {
+		t.Error("recently used entry was evicted")
+	}
+	if c.Len() != 2 || c.Evictions() != 1 {
+		t.Errorf("len/evictions = %d/%d, want 2/1", c.Len(), c.Evictions())
+	}
+}
+
+// The cache serves HTTP handlers and farm workers at once.
+func TestCacheConcurrent(t *testing.T) {
+	c := resultcache.New(16)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := resultcache.Key{Config: "c", Seed: uint64((w + i) % 32)}
+				if i%3 == 0 {
+					c.Put(k, resultcache.Entry{Cycles: int64(i)})
+				} else {
+					c.Get(k)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Len() > 16 {
+		t.Errorf("cache overflowed capacity: %d", c.Len())
+	}
+}
