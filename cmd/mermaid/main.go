@@ -10,6 +10,9 @@
 //	mermaid -config mymachine.json -desc workload.json
 //	mermaid -preset ppc601 -traces node0.mmt
 //	mermaid -experiment all
+//	mermaid -experiment cache-sweep -sweep "sizes=4,16;assocs=2"
+//	mermaid pipeline run -grid grid.json
+//	mermaid pipeline diff runs/A runs/B
 //	mermaid -preset hybrid-2x2x2 -dump-config
 //	mermaid -topology fattree:32x3 -desc sweep.json
 package main
@@ -63,6 +66,14 @@ func presetNames() []string {
 }
 
 func main() {
+	// Subcommand dispatch: `mermaid pipeline <run|diff|validate> ...` has its
+	// own flag sets and bypasses the single-run flags below.
+	if len(os.Args) > 1 && os.Args[1] == "pipeline" {
+		if err := pipelineMain(os.Args[2:]); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	var (
 		preset     = flag.String("preset", "", "machine preset: "+strings.Join(presetNames(), ", "))
 		configPath = flag.String("config", "", "machine configuration JSON file")
@@ -81,7 +92,8 @@ func main() {
 		descPath = flag.String("desc", "", "stochastic workload description JSON file")
 		traces   = flag.String("traces", "", "comma-separated binary trace files, one per processor")
 
-		experiment = flag.String("experiment", "", "run a reproduction experiment: all, "+strings.Join(experiments.Names(), ", "))
+		experiment = flag.String("experiment", "", "run a reproduction experiment: all, list, "+strings.Join(experiments.Names(), ", "))
+		sweepF     = flag.String("sweep", "", "experiment sweep overrides, ';'-separated name=value pairs (values may contain commas), e.g. \"sizes=4,16;assocs=2\"")
 		csv        = flag.Bool("csv", false, "emit experiment tables as CSV")
 		monitor    = flag.Int64("monitor", 0, "sample run-time metrics every N cycles (0 = off)")
 		monitorCSV = flag.String("monitor-csv", "", "write monitor samples to a CSV file")
@@ -111,10 +123,17 @@ func main() {
 	defer stop()
 
 	if *experiment != "" {
-		if err := runExperiments(os.Stdout, *experiment, *csv, *parallel); err != nil {
+		sweep, err := parseSweep(*sweepF)
+		if err != nil {
+			fatal(err)
+		}
+		if err := runExperiments(os.Stdout, *experiment, *csv, *parallel, sweep); err != nil {
 			fatal(err)
 		}
 		return
+	}
+	if *sweepF != "" {
+		fatal(fmt.Errorf("-sweep only applies to -experiment runs"))
 	}
 
 	cfg, err := resolveConfig(*preset, *configPath, *topoSpec)
@@ -407,37 +426,63 @@ func resolveConfig(preset, configPath, topoSpec string) (machine.Config, error) 
 	}
 }
 
-func runExperiments(w io.Writer, which string, csv bool, workers int) error {
+// parseSweep parses ';'-separated name=value pairs (';' because sweep values
+// are comma-separated lists themselves).
+func parseSweep(s string) (map[string]string, error) {
+	if s == "" {
+		return nil, nil
+	}
+	sweep := map[string]string{}
+	for _, pair := range strings.Split(s, ";") {
+		pair = strings.TrimSpace(pair)
+		if pair == "" {
+			continue
+		}
+		name, value, ok := strings.Cut(pair, "=")
+		if !ok || name == "" {
+			return nil, fmt.Errorf("-sweep: %q is not a name=value pair", pair)
+		}
+		sweep[strings.TrimSpace(name)] = strings.TrimSpace(value)
+	}
+	return sweep, nil
+}
+
+func runExperiments(w io.Writer, which string, csv bool, workers int, sweep map[string]string) error {
+	if which == "list" {
+		return experiments.Describe().Render(w)
+	}
 	exps := experiments.All()
 	if which != "all" {
 		e, ok := experiments.ByName(which)
 		if !ok {
-			return fmt.Errorf("unknown experiment %q (have: all, %s)", which, strings.Join(experiments.Names(), ", "))
+			return fmt.Errorf("unknown experiment %q (have: all, list, %s)", which, strings.Join(experiments.Names(), ", "))
 		}
 		exps = []experiments.Experiment{e}
+	} else if len(sweep) > 0 {
+		return fmt.Errorf("-sweep overrides one experiment's parameters; use it with a single -experiment, not all")
 	}
-	return runExperimentSet(w, exps, csv, workers)
+	return runExperimentSet(w, exps, csv, workers, sweep)
 }
 
 // runExperimentSet runs every experiment — a failure does not stop the rest —
 // printing each rendered table in canonical order and returning all failures
 // joined. Sweep points within an experiment are farmed across workers.
-func runExperimentSet(w io.Writer, exps []experiments.Experiment, csv bool, workers int) error {
+func runExperimentSet(w io.Writer, exps []experiments.Experiment, csv bool, workers int, sweep map[string]string) error {
 	jobs := make([]farm.Job, len(exps))
 	for i, e := range exps {
 		e := e
 		jobs[i] = farm.Job{Name: e.Name, Run: func(*farm.RunContext) (any, error) {
 			var buf bytes.Buffer
 			fmt.Fprintf(&buf, "== experiment %s ==\n", e.Name)
-			tb, _, err := e.Run(experiments.Params{Workers: workers})
+			rs, err := e.Execute(experiments.Spec{Workers: workers, Sweep: sweep})
 			if err != nil {
 				return nil, fmt.Errorf("experiment %s: %w", e.Name, err)
 			}
 			if csv {
-				if err := tb.RenderCSV(&buf); err != nil {
+				if err := rs.Table.RenderCSV(&buf); err != nil {
 					return nil, err
 				}
-			} else if err := tb.Render(&buf); err != nil {
+			} else if err := rs.Table.Render(&buf); err != nil {
 				return nil, err
 			}
 			fmt.Fprintln(&buf)

@@ -20,10 +20,10 @@ func tableExp(name string, deterministic bool) experiments.Experiment {
 	return experiments.Experiment{
 		Name:          name,
 		Deterministic: deterministic,
-		Run: func(experiments.Params) (*stats.Table, experiments.Keys, error) {
+		Run: func(experiments.Spec) (*experiments.ResultSet, error) {
 			tb := stats.NewTable("value")
 			tb.Row(name)
-			return tb, experiments.Keys{}, nil
+			return &experiments.ResultSet{Table: tb, Keys: experiments.Keys{}}, nil
 		},
 	}
 }
@@ -31,8 +31,8 @@ func tableExp(name string, deterministic bool) experiments.Experiment {
 func failExp(name string, err error) experiments.Experiment {
 	return experiments.Experiment{
 		Name: name,
-		Run: func(experiments.Params) (*stats.Table, experiments.Keys, error) {
-			return nil, nil, err
+		Run: func(experiments.Spec) (*experiments.ResultSet, error) {
+			return nil, err
 		},
 	}
 }
@@ -51,7 +51,7 @@ func TestRunExperimentSetSurvivesFailures(t *testing.T) {
 	}
 
 	var out bytes.Buffer
-	err := runExperimentSet(&out, exps, false, 2)
+	err := runExperimentSet(&out, exps, false, 2, nil)
 	if err == nil {
 		t.Fatal("runExperimentSet returned nil error despite two failing experiments")
 	}
@@ -73,7 +73,7 @@ func TestRunExperimentSetSurvivesFailures(t *testing.T) {
 
 func TestRunExperimentsUnknownName(t *testing.T) {
 	var out bytes.Buffer
-	err := runExperiments(&out, "no-such-experiment", false, 1)
+	err := runExperiments(&out, "no-such-experiment", false, 1, nil)
 	if err == nil || !strings.Contains(err.Error(), "unknown experiment") {
 		t.Fatalf("err = %v, want unknown-experiment error", err)
 	}

@@ -11,16 +11,24 @@ import (
 
 // Calibration is the §3 validation path: "small benchmarks used to tune and
 // validate the machine parameters of the simulation models". It runs a
-// lat-mem-rd-style probe — strided loads over growing working sets — on the
-// PowerPC 601 node and reports the mean load latency per working set. The
-// measured staircase must recover the configured hierarchy: ~L1 hit latency
-// while the set fits in L1, the L2 access cost up to the L2 capacity, and
-// the full memory path beyond.
-func Calibration() (*stats.Table, Keys, error) {
+// lat-mem-rd-style probe — strided loads over growing working sets, with the
+// stride in bytes as sweep parameter "stride" — on the PowerPC 601 node and
+// reports the mean load latency per working set. The measured staircase must
+// recover the configured hierarchy: ~L1 hit latency while the set fits in
+// L1, the L2 access cost up to the L2 capacity, and the full memory path
+// beyond.
+func Calibration(s Spec) (*ResultSet, error) {
+	// Default stride = L2 line size so every out-of-cache access is a full
+	// miss.
+	stride, err := s.IntParam("stride", defCalibStrideByte)
+	if err != nil {
+		return nil, err
+	}
+	if stride <= 0 {
+		return nil, fmt.Errorf("calibration: stride must be positive, got %d", stride)
+	}
 	tb := stats.NewTable("working set", "mean load latency (cyc)", "level")
 	keys := Keys{}
-	// Stride = L2 line size so every out-of-cache access is a full miss.
-	const stride = 64
 	sets := []struct {
 		ws    uint64
 		level string
@@ -32,15 +40,15 @@ func Calibration() (*stats.Table, Keys, error) {
 		{2 << 20, "memory"},
 		{4 << 20, "memory"},
 	}
-	for _, s := range sets {
-		lat, err := loadLatency(s.ws, stride)
+	for _, set := range sets {
+		lat, err := loadLatency(set.ws, uint64(stride))
 		if err != nil {
-			return nil, nil, err
+			return nil, err
 		}
-		tb.Row(fmt.Sprintf("%dK", s.ws>>10), lat, s.level)
-		keys[fmt.Sprintf("lat_%dk", s.ws>>10)] = lat
+		tb.Row(fmt.Sprintf("%dK", set.ws>>10), lat, set.level)
+		keys[fmt.Sprintf("lat_%dk", set.ws>>10)] = lat
 	}
-	return tb, keys, nil
+	return &ResultSet{Table: tb, Keys: keys}, nil
 }
 
 // loadLatency measures the steady-state mean latency of strided loads over a

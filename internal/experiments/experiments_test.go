@@ -19,10 +19,25 @@ func render(t *testing.T, tb *stats.Table) string {
 	return sb.String()
 }
 
+// renderArtifacts concatenates a result set's artifacts as bytes, for
+// byte-identity comparisons.
+func renderArtifacts(t *testing.T, rs *ResultSet) string {
+	t.Helper()
+	var sb strings.Builder
+	for _, a := range rs.Artifacts {
+		sb.WriteString(a.Name + "\n")
+		if err := a.Render(&sb); err != nil {
+			t.Fatalf("artifact %s: %v", a.Name, err)
+		}
+	}
+	return sb.String()
+}
+
 // TestDeterminismUnderParallelism is the farm's core guarantee: every
-// deterministic experiment produces byte-identical tables and identical key
-// maps whether its sweep points run sequentially or on 8 concurrent
-// workers. Parallelism changes wall time only, never results.
+// deterministic experiment produces byte-identical tables, identical key
+// maps, and byte-identical artifacts whether its sweep points run
+// sequentially or on 8 concurrent workers. Parallelism changes wall time
+// only, never results.
 func TestDeterminismUnderParallelism(t *testing.T) {
 	for _, e := range All() {
 		if !e.Deterministic {
@@ -31,32 +46,92 @@ func TestDeterminismUnderParallelism(t *testing.T) {
 		e := e
 		t.Run(e.Name, func(t *testing.T) {
 			t.Parallel()
-			seqTb, seqKeys, err := e.Run(Params{Workers: 1})
+			seqRS, err := e.Execute(Spec{Workers: 1})
 			if err != nil {
 				t.Fatal(err)
 			}
-			parTb, parKeys, err := e.Run(Params{Workers: 8})
+			parRS, err := e.Execute(Spec{Workers: 8})
 			if err != nil {
 				t.Fatal(err)
 			}
-			seq, par := render(t, seqTb), render(t, parTb)
+			seq, par := render(t, seqRS.Table), render(t, parRS.Table)
 			if seq != par {
 				t.Errorf("tables differ between -parallel 1 and 8:\n--- sequential ---\n%s--- parallel ---\n%s", seq, par)
 			}
-			if !reflect.DeepEqual(seqKeys, parKeys) {
-				t.Errorf("keys differ: %v vs %v", seqKeys, parKeys)
+			if !reflect.DeepEqual(seqRS.Keys, parRS.Keys) {
+				t.Errorf("keys differ: %v vs %v", seqRS.Keys, parRS.Keys)
+			}
+			if a, b := renderArtifacts(t, seqRS), renderArtifacts(t, parRS); a != b {
+				t.Error("artifacts differ between -parallel 1 and 8")
+			}
+			if seqRS.Experiment != e.Name {
+				t.Errorf("result set not stamped: %q, want %q", seqRS.Experiment, e.Name)
 			}
 		})
 	}
 }
 
+// TestExecuteRejectsUnknownSweep is the registry's validation contract: a
+// sweep override must name a declared parameter.
+func TestExecuteRejectsUnknownSweep(t *testing.T) {
+	e, ok := ByName("cache-sweep")
+	if !ok {
+		t.Fatal("cache-sweep not registered")
+	}
+	_, err := e.Execute(Spec{Sweep: map[string]string{"bogus": "1"}})
+	if err == nil || !strings.Contains(err.Error(), "bogus") {
+		t.Errorf("unknown sweep parameter accepted: %v", err)
+	}
+	if !strings.Contains(err.Error(), "sizes") {
+		t.Errorf("error should list valid parameters: %v", err)
+	}
+	// An experiment with no parameters rejects any override.
+	e, _ = ByName("table1")
+	if _, err := e.Execute(Spec{Sweep: map[string]string{"x": "1"}}); err == nil {
+		t.Error("table1 accepted a sweep override despite declaring none")
+	}
+}
+
+// TestRegistryMetadata keeps the registry self-consistent: units match the
+// produced table's column count, default sweeps parse, and Describe lists
+// every experiment.
+func TestRegistryMetadata(t *testing.T) {
+	desc := Describe()
+	if got, want := len(desc.Rows()), len(All()); got != want {
+		t.Errorf("Describe lists %d experiments, registry has %d", got, want)
+	}
+	for _, e := range All() {
+		if e.Title == "" {
+			t.Errorf("%s: no title", e.Name)
+		}
+		for name, def := range e.Sweep {
+			if def == "" {
+				t.Errorf("%s: sweep parameter %s has no default", e.Name, name)
+			}
+		}
+	}
+	// Spot-check units length against an actually produced table (cheap
+	// experiments only).
+	for _, name := range []string{"validity", "imbalance"} {
+		e, _ := ByName(name)
+		rs, err := e.Execute(Spec{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := len(e.Units), len(rs.Table.Header()); got != want {
+			t.Errorf("%s: %d units for %d columns", name, got, want)
+		}
+	}
+}
+
 func TestTable1(t *testing.T) {
-	tb, keys, err := Table1(Params{})
+	rs, err := Table1(Spec{})
 	if err != nil {
 		t.Fatal(err)
 	}
+	keys := rs.Keys
 	var sb strings.Builder
-	if err := tb.Render(&sb); err != nil {
+	if err := rs.Table.Render(&sb); err != nil {
 		t.Fatal(err)
 	}
 	// Every Table 1 kind must have a measured cost.
@@ -85,16 +160,16 @@ func TestTable1(t *testing.T) {
 func TestDetailedVsTaskSlowdownShape(t *testing.T) {
 	// The paper's central performance claim: the task-level mode is orders
 	// of magnitude faster (per simulated cycle) than the detailed mode.
-	_, dk, err := DetailedSlowdown()
+	drs, err := DetailedSlowdown(Spec{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, tk, err := TaskLevelSlowdown()
+	trs, err := TaskLevelSlowdown(Spec{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	det := dk["t805-4x4/cycles_per_sec"]
-	task := tk["t805-4x4-compute-heavy/cycles_per_sec"]
+	det := drs.Keys["t805-4x4/cycles_per_sec"]
+	task := trs.Keys["t805-4x4-compute-heavy/cycles_per_sec"]
 	if det <= 0 || task <= 0 {
 		t.Fatalf("rates: detailed=%v task=%v", det, task)
 	}
@@ -104,10 +179,11 @@ func TestDetailedVsTaskSlowdownShape(t *testing.T) {
 }
 
 func TestMemoryScaling(t *testing.T) {
-	_, keys, err := MemoryScaling(Params{}, []int{4, 16})
+	rs, err := MemoryScaling(Spec{Sweep: map[string]string{"nodes": "4,16"}})
 	if err != nil {
 		t.Fatal(err)
 	}
+	keys := rs.Keys
 	// Host cost of a cache must not scale with simulated capacity
 	// (tags-only, §6): 4 MiB vs 32 KiB is 128x capacity, same metadata per
 	// line count ratio.
@@ -121,10 +197,11 @@ func TestMemoryScaling(t *testing.T) {
 }
 
 func TestHybridAgreement(t *testing.T) {
-	_, keys, err := HybridAgreement()
+	rs, err := HybridAgreement(Spec{})
 	if err != nil {
 		t.Fatal(err)
 	}
+	keys := rs.Keys
 	r := keys["ratio"]
 	if r < 0.95 || r > 1.05 {
 		t.Errorf("task-level replay disagrees with detailed run: ratio %v", r)
@@ -137,22 +214,34 @@ func TestHybridAgreement(t *testing.T) {
 }
 
 func TestTraceValidity(t *testing.T) {
-	tb, keys, err := TraceValidity()
+	rs, err := TraceValidity(Spec{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if keys["orders_differ"] != 1 {
+	if rs.Keys["orders_differ"] != 1 {
 		var sb strings.Builder
-		tb.Render(&sb)
+		rs.Table.Render(&sb)
 		t.Errorf("traces identical across architectures:\n%s", sb.String())
+	}
+	// The slow-link run must attach a non-empty timeline artifact.
+	if len(rs.Artifacts) != 1 || rs.Artifacts[0].Name != "timeline" {
+		t.Fatalf("artifacts = %v, want one timeline", rs.Artifacts)
+	}
+	var sb strings.Builder
+	if err := rs.Artifacts[0].Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "traceEvents") {
+		t.Errorf("timeline artifact is not trace-event JSON: %.80s", sb.String())
 	}
 }
 
 func TestCacheSweep(t *testing.T) {
-	_, keys, err := CacheSweep(Params{})
+	rs, err := CacheSweep(Spec{})
 	if err != nil {
 		t.Fatal(err)
 	}
+	keys := rs.Keys
 	// Hit ratio must grow with size up to the 16 KiB working set and
 	// saturate beyond it; cycles must shrink correspondingly.
 	if !(keys["hit_2k_a8"] < keys["hit_8k_a8"] && keys["hit_8k_a8"] < keys["hit_32k_a8"]) {
@@ -167,11 +256,29 @@ func TestCacheSweep(t *testing.T) {
 	}
 }
 
-func TestNetworkSweep(t *testing.T) {
-	_, keys, err := NetworkSweep(Params{})
+func TestCacheSweepOverride(t *testing.T) {
+	// A narrowed sweep must produce exactly its points.
+	rs, err := CacheSweep(Spec{Sweep: map[string]string{"sizes": "4,16", "assocs": "2"}})
 	if err != nil {
 		t.Fatal(err)
 	}
+	if got := len(rs.Table.Rows()); got != 3 {
+		t.Errorf("override produced %d rows, want 3", got)
+	}
+	if _, ok := rs.Keys["hit_4k_a8"]; !ok {
+		t.Error("missing swept point 4k/a8")
+	}
+	if _, ok := rs.Keys["hit_16k_a2"]; !ok {
+		t.Error("missing swept point 16k/a2")
+	}
+}
+
+func TestNetworkSweep(t *testing.T) {
+	rs, err := NetworkSweep(Spec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := rs.Keys
 	// Richer topologies deliver lower latency under uniform traffic.
 	if keys["ring/wh/latency"] <= keys["hypercube/wh/latency"] {
 		t.Errorf("ring latency %v should exceed hypercube %v",
@@ -190,10 +297,11 @@ func TestNetworkSweep(t *testing.T) {
 }
 
 func TestCoherenceStudy(t *testing.T) {
-	_, keys, err := CoherenceStudy()
+	rs, err := CoherenceStudy(Spec{})
 	if err != nil {
 		t.Fatal(err)
 	}
+	keys := rs.Keys
 	if keys["inval_smp1"] != 0 {
 		t.Errorf("uniprocessor had %v invalidations", keys["inval_smp1"])
 	}
@@ -207,10 +315,11 @@ func TestCoherenceStudy(t *testing.T) {
 }
 
 func TestStochasticVsAnnotated(t *testing.T) {
-	_, keys, err := StochasticVsAnnotated()
+	rs, err := StochasticVsAnnotated(Spec{})
 	if err != nil {
 		t.Fatal(err)
 	}
+	keys := rs.Keys
 	r := keys["cycle_ratio"]
 	// "Modest accuracy": within a factor of two either way.
 	if r < 0.5 || r > 2 {
@@ -222,21 +331,22 @@ func TestStochasticVsAnnotated(t *testing.T) {
 }
 
 func TestNodeInterconnectStudy(t *testing.T) {
-	_, keys, err := NodeInterconnectStudy()
+	rs, err := NodeInterconnectStudy(Spec{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if keys["crossbar/cycles"] >= keys["bus/cycles"] {
+	if rs.Keys["crossbar/cycles"] >= rs.Keys["bus/cycles"] {
 		t.Errorf("crossbar (%v) should beat the bus (%v) on bank-disjoint streams",
-			keys["crossbar/cycles"], keys["bus/cycles"])
+			rs.Keys["crossbar/cycles"], rs.Keys["bus/cycles"])
 	}
 }
 
 func TestCalibrationRecoversHierarchy(t *testing.T) {
-	_, keys, err := Calibration()
+	rs, err := Calibration(Spec{})
 	if err != nil {
 		t.Fatal(err)
 	}
+	keys := rs.Keys
 	l1 := keys["lat_4k"]
 	l2 := keys["lat_64k"]
 	mem := keys["lat_2048k"]
@@ -260,10 +370,11 @@ func TestCalibrationRecoversHierarchy(t *testing.T) {
 }
 
 func TestRoutingStudy(t *testing.T) {
-	_, keys, err := RoutingStudy(Params{})
+	rs, err := RoutingStudy(Spec{})
 	if err != nil {
 		t.Fatal(err)
 	}
+	keys := rs.Keys
 	if keys["valiant/hops"] <= keys["minimal/hops"] {
 		t.Errorf("valiant hops %v should exceed minimal %v",
 			keys["valiant/hops"], keys["minimal/hops"])
@@ -275,10 +386,11 @@ func TestRoutingStudy(t *testing.T) {
 }
 
 func TestImbalanceStudy(t *testing.T) {
-	_, keys, err := ImbalanceStudy()
+	rs, err := ImbalanceStudy(Spec{})
 	if err != nil {
 		t.Fatal(err)
 	}
+	keys := rs.Keys
 	if !(keys["cycles_cv0.0"] < keys["cycles_cv0.2"] && keys["cycles_cv0.2"] < keys["cycles_cv0.5"]) {
 		t.Errorf("completion not monotone in imbalance: %v / %v / %v",
 			keys["cycles_cv0.0"], keys["cycles_cv0.2"], keys["cycles_cv0.5"])
@@ -286,10 +398,11 @@ func TestImbalanceStudy(t *testing.T) {
 }
 
 func TestRoutingStudyAdaptive(t *testing.T) {
-	_, keys, err := RoutingStudy(Params{})
+	rs, err := RoutingStudy(Spec{})
 	if err != nil {
 		t.Fatal(err)
 	}
+	keys := rs.Keys
 	// Adaptive stays minimal in hops but must not be slower than the
 	// deterministic dimension-order router on adversarial traffic.
 	if keys["adaptive/hops"] != keys["minimal/hops"] {
@@ -302,10 +415,11 @@ func TestRoutingStudyAdaptive(t *testing.T) {
 }
 
 func TestScalingStudy(t *testing.T) {
-	_, keys, err := ScalingStudy()
+	rs, err := ScalingStudy(Spec{})
 	if err != nil {
 		t.Fatal(err)
 	}
+	keys := rs.Keys
 	// More nodes, less time; and speedup grows but sublinearly.
 	if !(keys["cycles_2"] > keys["cycles_4"] && keys["cycles_4"] > keys["cycles_8"] &&
 		keys["cycles_8"] > keys["cycles_16"]) {
@@ -317,5 +431,9 @@ func TestScalingStudy(t *testing.T) {
 	}
 	if keys["speedup_16"] >= 16 {
 		t.Errorf("superlinear speedup %v suspicious for fixed problem + halo overhead", keys["speedup_16"])
+	}
+	// The largest machine must attach its bottleneck report.
+	if len(rs.Artifacts) != 1 || rs.Artifacts[0].Name != "bottleneck" {
+		t.Fatalf("artifacts = %v, want one bottleneck report", rs.Artifacts)
 	}
 }

@@ -1,9 +1,10 @@
 // Package experiments contains the reproduction harnesses for every
 // quantitative claim and structural artefact of the paper (Table 1 and the
 // §6 evaluation), plus the architecture design studies the workbench exists
-// to support. Each experiment returns a rendered table and a map of key
-// metrics that tests and EXPERIMENTS.md assert against. The same functions
-// back the `mermaid -experiment` CLI and the benchmarks in bench_test.go.
+// to support. Each experiment returns a named ResultSet — a rendered table,
+// a map of key metrics that tests and EXPERIMENTS.md assert against, and any
+// JSON artifacts. The same functions back the `mermaid -experiment` CLI, the
+// experiment pipeline, and the benchmarks in bench_test.go.
 package experiments
 
 import (
@@ -20,9 +21,6 @@ import (
 	"mermaid/internal/workload"
 )
 
-// Keys is the assertable outcome of an experiment.
-type Keys map[string]float64
-
 // measurement is one farmed run's contribution to an experiment table: a
 // pre-formatted row plus the key/value pairs it asserts. Collecting rows
 // from the farm in submission order keeps tables byte-identical to a
@@ -34,8 +32,8 @@ type measurement struct {
 
 // collect runs the jobs on a pool and folds the measurements into the table
 // and key map, in submission order.
-func collect(p Params, jobs []farm.Job, tb *stats.Table, keys Keys) error {
-	rep := p.pool().Run(jobs)
+func collect(s Spec, jobs []farm.Job, tb *stats.Table, keys Keys) error {
+	rep := s.pool().Run(jobs)
 	if err := rep.Err(); err != nil {
 		return err
 	}
@@ -54,7 +52,7 @@ func collect(p Params, jobs []farm.Job, tb *stats.Table, keys Keys) error {
 // communication operations across a two-node T805 machine — and reports the
 // simulated cost of each. Every operation is an independent cold machine, so
 // the measurements farm out across host workers.
-func Table1(p Params) (*stats.Table, Keys, error) {
+func Table1(s Spec) (*ResultSet, error) {
 	tb := stats.NewTable("operation", "class", "cycles")
 	keys := Keys{}
 
@@ -124,10 +122,10 @@ func Table1(p Params) (*stats.Table, Keys, error) {
 			}, nil
 		}})
 	}
-	if err := collect(p, jobs, tb, keys); err != nil {
-		return nil, nil, err
+	if err := collect(s, jobs, tb, keys); err != nil {
+		return nil, err
 	}
-	return tb, keys, nil
+	return &ResultSet{Table: tb, Keys: keys}, nil
 }
 
 // slowdownDesc builds the "mix of application loads" driving the slowdown
@@ -150,7 +148,7 @@ func slowdownDesc(nodes int, level stochastic.Level, instrs, dur int64, iters in
 // T805 multicomputer and a PowerPC 601 single node with two cache levels.
 // The paper reports a slowdown of about 750–4,000 per processor on a
 // 143 MHz UltraSPARC host (30k–200k target cycles/s).
-func DetailedSlowdown() (*stats.Table, Keys, error) {
+func DetailedSlowdown(Spec) (*ResultSet, error) {
 	tb := stats.NewTable("machine", "procs", "sim cycles", "wall ms",
 		"cycles/s", "slowdown/proc @143MHz", "@1GHz")
 	keys := Keys{}
@@ -176,21 +174,21 @@ func DetailedSlowdown() (*stats.Table, Keys, error) {
 
 	if err := run("t805-4x4", machine.T805Grid(4, 4),
 		slowdownDesc(16, stochastic.InstructionLevel, 20000, 0, 3)); err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	singleNode := slowdownDesc(1, stochastic.InstructionLevel, 200000, 0, 3)
 	singleNode.Phases[0].Comm = stochastic.Comm{}
 	if err := run("ppc601", machine.PPC601Machine(), singleNode); err != nil {
-		return nil, nil, err
+		return nil, err
 	}
-	return tb, keys, nil
+	return &ResultSet{Table: tb, Keys: keys}, nil
 }
 
 // TaskLevelSlowdown (E3) measures the fast-prototyping level: computation is
 // simulated as whole tasks, so an entire multicomputer simulates with only a
 // minor slowdown (the paper: 0.5–4 per processor, dominated by the amount of
 // communication in the load).
-func TaskLevelSlowdown() (*stats.Table, Keys, error) {
+func TaskLevelSlowdown(Spec) (*ResultSet, error) {
 	tb := stats.NewTable("machine", "procs", "sim cycles", "wall ms",
 		"cycles/s", "slowdown/proc @143MHz", "@1GHz")
 	keys := Keys{}
@@ -206,11 +204,11 @@ func TaskLevelSlowdown() (*stats.Table, Keys, error) {
 	for _, c := range cases {
 		m, err := machine.New(machine.T805GridTaskLevel(4, 4))
 		if err != nil {
-			return nil, nil, err
+			return nil, err
 		}
 		res, err := m.RunStochastic(slowdownDesc(16, stochastic.TaskLevel, 0, c.dur, c.iters))
 		if err != nil {
-			return nil, nil, err
+			return nil, err
 		}
 		tb.Row(c.label, res.Processors, int64(res.Cycles),
 			float64(res.Wall.Microseconds())/1000,
@@ -220,17 +218,22 @@ func TaskLevelSlowdown() (*stats.Table, Keys, error) {
 		keys[c.label+"/cycles_per_sec"] = res.CyclesPerSecond()
 		keys[c.label+"/slowdown143"] = res.SlowdownPerProcessor(143e6)
 	}
-	return tb, keys, nil
+	return &ResultSet{Table: tb, Keys: keys}, nil
 }
 
 // MemoryScaling (E4) measures host memory per simulated node as the machine
-// grows. Because the simulator interprets no machine instructions and caches
-// hold only tags, the footprint stays small and is dominated by the
+// grows (sweep parameter "nodes", a comma-separated list of square node
+// counts). Because the simulator interprets no machine instructions and
+// caches hold only tags, the footprint stays small and is dominated by the
 // trace-generating side (§6). The probes run through the farm for panic
 // isolation but always sequentially: heap accounting via runtime.MemStats is
 // process-global, so concurrent probes would attribute each other's
 // allocations.
-func MemoryScaling(_ Params, nodeCounts []int) (*stats.Table, Keys, error) {
+func MemoryScaling(s Spec) (*ResultSet, error) {
+	nodeCounts, err := s.IntsParam("nodes", defMemoryNodes)
+	if err != nil {
+		return nil, err
+	}
 	tb := stats.NewTable("nodes", "heap KiB", "KiB/node")
 	keys := Keys{}
 	jobs := make([]farm.Job, len(nodeCounts))
@@ -248,8 +251,8 @@ func MemoryScaling(_ Params, nodeCounts []int) (*stats.Table, Keys, error) {
 			}, nil
 		}}
 	}
-	if err := collect(Params{Workers: 1}, jobs, tb, keys); err != nil {
-		return nil, nil, err
+	if err := collect(Spec{Workers: 1}, jobs, tb, keys); err != nil {
+		return nil, err
 	}
 	// Tags-only evidence: host cost of a cache is independent of simulated
 	// capacity.
@@ -257,7 +260,7 @@ func MemoryScaling(_ Params, nodeCounts []int) (*stats.Table, Keys, error) {
 	big := cacheHostBytes(4 << 20)
 	keys["cache_host_ratio"] = float64(big) / float64(small)
 	tb.Row("cache 32KiB vs 4MiB host bytes", fmt.Sprintf("%d vs %d", small, big), keys["cache_host_ratio"])
-	return tb, keys, nil
+	return &ResultSet{Table: tb, Keys: keys}, nil
 }
 
 func heapForTaskMachine(n int) (uint64, error) {
@@ -300,29 +303,29 @@ func cacheHostBytes(size int) int {
 // replays the derived trace through the task-level model. The two abstraction
 // levels must agree on execution time, since the communication model is
 // shared and the task durations were measured by the detailed model.
-func HybridAgreement() (*stats.Table, Keys, error) {
+func HybridAgreement(Spec) (*ResultSet, error) {
 	const nodes = 4
 	detailed, err := machine.New(machine.T805Grid(2, 2))
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	sinks := make([]bytes.Buffer, nodes)
 	for i := 0; i < nodes; i++ {
 		if err := detailed.SetTaskSink(i, &sinks[i]); err != nil {
-			return nil, nil, err
+			return nil, err
 		}
 	}
 	resD, err := detailed.RunProgram(workload.Jacobi1D(nodes, 128, 5))
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	if err := detailed.FlushTaskSinks(); err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 
 	taskM, err := machine.New(machine.T805GridTaskLevel(2, 2))
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	srcs := make([]trace.Source, nodes)
 	for i := 0; i < nodes; i++ {
@@ -330,7 +333,7 @@ func HybridAgreement() (*stats.Table, Keys, error) {
 	}
 	resT, err := taskM.Run(srcs)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 
 	ratio := float64(resT.Cycles) / float64(resD.Cycles)
@@ -344,5 +347,5 @@ func HybridAgreement() (*stats.Table, Keys, error) {
 		"detailed_events": float64(resD.Events),
 		"task_events":     float64(resT.Events),
 	}
-	return tb, keys, nil
+	return &ResultSet{Table: tb, Keys: keys}, nil
 }

@@ -6,9 +6,11 @@ import (
 
 	"mermaid/internal/bus"
 	"mermaid/internal/cache"
+	"mermaid/internal/core"
 	"mermaid/internal/farm"
 	"mermaid/internal/machine"
 	"mermaid/internal/ops"
+	"mermaid/internal/probe"
 	"mermaid/internal/router"
 	"mermaid/internal/stats"
 	"mermaid/internal/stochastic"
@@ -18,38 +20,49 @@ import (
 )
 
 // TraceValidity (E6) demonstrates the execution-driven trace guarantee of
-// §3.1: a receive-from-any server workload is run on two architectures —
-// one with fast links, one with slow transputer-class links — and the
-// multiprocessor traces (the observed service orders) differ, yet each is
-// exactly the order the corresponding target machine produces. A static
-// trace could satisfy at most one of them.
-func TraceValidity() (*stats.Table, Keys, error) {
+// §3.1: a receive-from-any server workload (message size: sweep parameter
+// "bytes") is run on two architectures — one with fast links, one with slow
+// transputer-class links — and the multiprocessor traces (the observed
+// service orders) differ, yet each is exactly the order the corresponding
+// target machine produces. A static trace could satisfy at most one of them.
+// The slow-link run records a probe timeline, attached as the "timeline"
+// artifact.
+func TraceValidity(s Spec) (*ResultSet, error) {
+	msgBytes, err := s.IntParam("bytes", defValidityBytes)
+	if err != nil {
+		return nil, err
+	}
 	// Clients: rank 3 (farthest) injects earliest, rank 1 (nearest) last.
 	work := []int{0, 300, 200, 100}
-	run := func(cyclesPerByte int) (string, error) {
+	run := func(cyclesPerByte int, pb *probe.Probe) (string, *machine.Machine, error) {
 		cfg := machine.T805Grid(2, 2)
 		cfg.Network.Link.CyclesPerByte = cyclesPerByte
-		m, err := machine.New(cfg)
+		wb, err := core.New(cfg, core.WithProbe(pb))
 		if err != nil {
-			return "", err
+			return "", nil, err
+		}
+		m, err := wb.Build()
+		if err != nil {
+			return "", nil, err
 		}
 		var order []int
-		if _, err := m.RunProgram(workload.RecvAnyServer(4, 512, work, &order)); err != nil {
-			return "", err
+		if _, err := m.RunProgram(workload.RecvAnyServer(4, uint32(msgBytes), work, &order)); err != nil {
+			return "", nil, err
 		}
 		parts := make([]string, len(order))
 		for i, r := range order {
 			parts[i] = fmt.Sprint(r)
 		}
-		return strings.Join(parts, ","), nil
+		return strings.Join(parts, ","), m, nil
 	}
-	fast, err := run(1)
+	fast, _, err := run(1, nil)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
-	slow, err := run(24)
+	slowProbe := probe.New(probe.Config{Timeline: true})
+	slow, slowM, err := run(24, slowProbe)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	tb := stats.NewTable("architecture", "observed service order")
 	tb.Row("fast links (1 cyc/B)", fast)
@@ -58,16 +71,28 @@ func TraceValidity() (*stats.Table, Keys, error) {
 	if fast != slow {
 		keys["orders_differ"] = 1
 	}
-	return tb, keys, nil
+	tl := slowM.MergedTimeline()
+	return &ResultSet{Table: tb, Keys: keys, Artifacts: []Artifact{
+		{Name: "timeline", Render: tl.WriteJSON},
+	}}, nil
 }
 
 // CacheSweep (E7) is the design study the paper motivates in §2: the effect
 // of private-cache parameters on performance, a study direct-execution
-// simulators can only do marginally. It sweeps the L1 size (and a couple of
-// associativity points) of the PowerPC 601 node under a fixed workload with
-// a 16 KiB working set. Each sweep point is an independent machine, farmed
+// simulators can only do marginally. It sweeps the L1 size at associativity
+// 8 (sweep parameter "sizes", KiB) and the associativity at 16 KiB (sweep
+// parameter "assocs") of the PowerPC 601 node under a fixed workload with a
+// 16 KiB working set. Each sweep point is an independent machine, farmed
 // across host workers; the table is identical for any worker count.
-func CacheSweep(p Params) (*stats.Table, Keys, error) {
+func CacheSweep(s Spec) (*ResultSet, error) {
+	sizes, err := s.IntsParam("sizes", defCacheSizesKiB)
+	if err != nil {
+		return nil, err
+	}
+	assocs, err := s.IntsParam("assocs", defCacheAssocs)
+	if err != nil {
+		return nil, err
+	}
 	tb := stats.NewTable("L1 size", "assoc", "hit ratio", "cycles", "CPI")
 	keys := Keys{}
 	desc := stochastic.Desc{
@@ -81,8 +106,13 @@ func CacheSweep(p Params) (*stats.Table, Keys, error) {
 		size  int
 		assoc int
 	}
-	points := []pt{{2 << 10, 8}, {4 << 10, 8}, {8 << 10, 8}, {16 << 10, 8}, {32 << 10, 8},
-		{16 << 10, 1}, {16 << 10, 2}}
+	var points []pt
+	for _, kib := range sizes {
+		points = append(points, pt{kib << 10, 8})
+	}
+	for _, a := range assocs {
+		points = append(points, pt{16 << 10, a})
+	}
 	jobs := make([]farm.Job, len(points))
 	for i, point := range points {
 		point := point
@@ -111,17 +141,22 @@ func CacheSweep(p Params) (*stats.Table, Keys, error) {
 				}, nil
 			}}
 	}
-	if err := collect(p, jobs, tb, keys); err != nil {
-		return nil, nil, err
+	if err := collect(s, jobs, tb, keys); err != nil {
+		return nil, err
 	}
-	return tb, keys, nil
+	return &ResultSet{Table: tb, Keys: keys}, nil
 }
 
 // NetworkSweep (E8) evaluates interconnect design options on the task-level
 // model: topology x switching strategy under a fixed communication-bound
-// load, reporting latency and cost metrics — the §4.2 parameterisation at
-// work. The 12 design points farm across host workers.
-func NetworkSweep(p Params) (*stats.Table, Keys, error) {
+// load (message size: sweep parameter "bytes"), reporting latency and cost
+// metrics — the §4.2 parameterisation at work. The 12 design points farm
+// across host workers.
+func NetworkSweep(s Spec) (*ResultSet, error) {
+	msgBytes, err := s.IntParam("bytes", defNetworkBytes)
+	if err != nil {
+		return nil, err
+	}
 	const nodes = 16
 	tb := stats.NewTable("topology", "switching", "cycles", "mean msg latency", "max link util", "links")
 	keys := Keys{}
@@ -136,7 +171,7 @@ func NetworkSweep(p Params) (*stats.Table, Keys, error) {
 		Name: "net-sweep", Nodes: nodes, Level: stochastic.TaskLevel, Seed: 21, Iterations: 8,
 		Phases: []stochastic.Phase{{
 			Duration: 200,
-			Comm:     stochastic.Comm{Pattern: stochastic.RandomPairs, Bytes: 2048},
+			Comm:     stochastic.Comm{Pattern: stochastic.RandomPairs, Bytes: uint32(msgBytes)},
 		}},
 	}
 	var jobs []farm.Job
@@ -171,10 +206,10 @@ func NetworkSweep(p Params) (*stats.Table, Keys, error) {
 				}})
 		}
 	}
-	if err := collect(p, jobs, tb, keys); err != nil {
-		return nil, nil, err
+	if err := collect(s, jobs, tb, keys); err != nil {
+		return nil, err
 	}
-	return tb, keys, nil
+	return &ResultSet{Table: tb, Keys: keys}, nil
 }
 
 func shortSw(sw router.Switching) string {
@@ -191,7 +226,7 @@ func shortSw(sw router.Switching) string {
 // CoherenceStudy (E9) exercises the shared-memory side of the workbench
 // (§4.3): SMP scaling under a true-sharing workload and the snoopy bus
 // protocol against the directory alternative.
-func CoherenceStudy() (*stats.Table, Keys, error) {
+func CoherenceStudy(Spec) (*ResultSet, error) {
 	tb := stats.NewTable("machine", "CPUs", "coherence", "cycles", "invalidations", "bus util")
 	keys := Keys{}
 	for _, cpus := range []int{1, 2, 4, 8} {
@@ -201,7 +236,7 @@ func CoherenceStudy() (*stats.Table, Keys, error) {
 		}
 		res, inv, busU, err := runSharedCounter(cfg, cpus)
 		if err != nil {
-			return nil, nil, err
+			return nil, err
 		}
 		tb.Row("ppc601-smp", cpus, cfg.Node.Hierarchy.Coherence.String(), int64(res), int64(inv), busU)
 		keys[fmt.Sprintf("cycles_smp%d", cpus)] = float64(res)
@@ -214,12 +249,12 @@ func CoherenceStudy() (*stats.Table, Keys, error) {
 	dirCfg.Node.Hierarchy.DirMessageLatency = 4
 	res, inv, busU, err := runSharedCounter(dirCfg, 8)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	tb.Row("ppc601-smp", 8, "directory", int64(res), int64(inv), busU)
 	keys["cycles_dir8"] = float64(res)
 	keys["inval_dir8"] = float64(inv)
-	return tb, keys, nil
+	return &ResultSet{Table: tb, Keys: keys}, nil
 }
 
 func runSharedCounter(cfg machine.Config, cpus int) (cycles float64, invals uint64, busU float64, err error) {
@@ -243,16 +278,16 @@ func runSharedCounter(cfg machine.Config, cpus int) (cycles float64, invals uint
 // stochastic description of the same phase structure. The synthetic load
 // reproduces the communication structure and the execution time roughly —
 // "modest accuracy", per §3.
-func StochasticVsAnnotated() (*stats.Table, Keys, error) {
+func StochasticVsAnnotated(Spec) (*ResultSet, error) {
 	const nodes, iters = 4, 10
 	// Annotated run.
 	mA, err := machine.New(machine.T805Grid(2, 2))
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	resA, err := mA.RunProgram(workload.Jacobi1D(nodes, 128, iters))
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	msgsA, bytesA := mA.Network().Messages(), mA.Network().Bytes()
 	// A generated "instruction" is an ifetch plus an operation — two trace
@@ -273,11 +308,11 @@ func StochasticVsAnnotated() (*stats.Table, Keys, error) {
 	}
 	mS, err := machine.New(machine.T805Grid(2, 2))
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	resS, err := mS.RunStochastic(desc)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	msgsS, bytesS := mS.Network().Messages(), mS.Network().Bytes()
 
@@ -291,14 +326,14 @@ func StochasticVsAnnotated() (*stats.Table, Keys, error) {
 		"stochastic_msgs":   float64(msgsS),
 		"cycle_ratio":       float64(resS.Cycles) / float64(resA.Cycles),
 	}
-	return tb, keys, nil
+	return &ResultSet{Table: tb, Keys: keys}, nil
 }
 
 // NodeInterconnectStudy (ablation of §4.1's "changing the bus to a more
 // complex structure"): the same multi-CPU node with its shared bus swapped
 // for a banked crossbar, under the directory protocol (snooping needs a
 // broadcast medium) with a bank-disjoint access pattern.
-func NodeInterconnectStudy() (*stats.Table, Keys, error) {
+func NodeInterconnectStudy(Spec) (*ResultSet, error) {
 	tb := stats.NewTable("interconnect", "CPUs", "cycles", "avg occupancy")
 	keys := Keys{}
 	desc := stochastic.Desc{
@@ -321,24 +356,33 @@ func NodeInterconnectStudy() (*stats.Table, Keys, error) {
 		cfg.Node.Hierarchy.Bus.InterleaveBytes = 64
 		m, err := machine.New(cfg)
 		if err != nil {
-			return nil, nil, err
+			return nil, err
 		}
 		res, err := m.RunStochastic(desc)
 		if err != nil {
-			return nil, nil, err
+			return nil, err
 		}
 		u := m.Nodes()[0].Hierarchy().Bus().Utilization()
 		tb.Row(string(kind), 4, int64(res.Cycles), u)
 		keys[string(kind)+"/cycles"] = float64(res.Cycles)
 	}
-	return tb, keys, nil
+	return &ResultSet{Table: tb, Keys: keys}, nil
 }
 
 // RoutingStudy (§4.2's configurable routing strategy): an adversarial
 // permutation (antipodal in one torus dimension, so deterministic minimal
 // routing piles all traffic onto one dimension's links) under minimal vs
-// Valiant randomised routing. The strategies farm across host workers.
-func RoutingStudy(p Params) (*stats.Table, Keys, error) {
+// Valiant randomised routing. Message size and exchange rounds are the sweep
+// parameters "bytes" and "rounds". The strategies farm across host workers.
+func RoutingStudy(s Spec) (*ResultSet, error) {
+	msgBytes, err := s.IntParam("bytes", defRoutingBytes)
+	if err != nil {
+		return nil, err
+	}
+	rounds, err := s.IntParam("rounds", defRoutingRounds)
+	if err != nil {
+		return nil, err
+	}
 	const nodes = 16
 	tb := stats.NewTable("routing", "cycles", "mean hops", "mean latency", "max link util")
 	keys := Keys{}
@@ -359,10 +403,10 @@ func RoutingStudy(p Params) (*stats.Table, Keys, error) {
 			for i := 0; i < nodes; i++ {
 				dst := (i + 8) % nodes
 				var tr []ops.Op
-				for r := 0; r < 6; r++ {
+				for r := 0; r < rounds; r++ {
 					tag := uint32(100 + r)
 					tr = append(tr,
-						ops.NewASend(2048, int32(dst), tag),
+						ops.NewASend(uint32(msgBytes), int32(dst), tag),
 						ops.NewRecv(int32((i+8)%nodes), tag),
 					)
 				}
@@ -385,27 +429,31 @@ func RoutingStudy(p Params) (*stats.Table, Keys, error) {
 			}, nil
 		}}
 	}
-	if err := collect(p, jobs, tb, keys); err != nil {
-		return nil, nil, err
+	if err := collect(s, jobs, tb, keys); err != nil {
+		return nil, err
 	}
-	return tb, keys, nil
+	return &ResultSet{Table: tb, Keys: keys}, nil
 }
 
 // ImbalanceStudy exercises the load-balancing knob of the stochastic
 // descriptions (§3.2: the task-level model exists "to model synchronization
 // behaviour and load-balancing correctly"): the same BSP-style
-// compute/exchange loop under growing cross-node imbalance (coefficient of
-// variation of the per-node computation). Completion time is governed by
-// the slowest node of each superstep, so it grows with CV even though the
-// mean work is constant.
-func ImbalanceStudy() (*stats.Table, Keys, error) {
+// compute/exchange loop under growing cross-node imbalance (sweep parameter
+// "cv", the coefficient of variation of the per-node computation).
+// Completion time is governed by the slowest node of each superstep, so it
+// grows with CV even though the mean work is constant.
+func ImbalanceStudy(s Spec) (*ResultSet, error) {
+	cvs, err := s.FloatsParam("cv", defImbalanceCVs)
+	if err != nil {
+		return nil, err
+	}
 	tb := stats.NewTable("CV", "cycles", "vs balanced")
 	keys := Keys{}
 	var base float64
-	for _, cv := range []float64{0, 0.2, 0.5} {
+	for _, cv := range cvs {
 		m, err := machine.New(machine.T805GridTaskLevel(4, 4))
 		if err != nil {
-			return nil, nil, err
+			return nil, err
 		}
 		res, err := m.RunStochastic(stochastic.Desc{
 			Name: "bsp", Nodes: 16, Level: stochastic.TaskLevel, Seed: 77, Iterations: 20,
@@ -416,7 +464,7 @@ func ImbalanceStudy() (*stats.Table, Keys, error) {
 			}},
 		})
 		if err != nil {
-			return nil, nil, err
+			return nil, err
 		}
 		if base == 0 {
 			base = float64(res.Cycles)
@@ -424,28 +472,43 @@ func ImbalanceStudy() (*stats.Table, Keys, error) {
 		tb.Row(cv, int64(res.Cycles), float64(res.Cycles)/base)
 		keys[fmt.Sprintf("cycles_cv%.1f", cv)] = float64(res.Cycles)
 	}
-	return tb, keys, nil
+	return &ResultSet{Table: tb, Keys: keys}, nil
 }
 
-// ScalingStudy runs a fixed-size Jacobi problem on growing T805 machines —
-// the classic strong-scaling curve an architecture workbench exists to
-// predict: speedup rises with nodes while parallel efficiency falls as the
-// fixed per-iteration halo communication stops amortising.
-func ScalingStudy() (*stats.Table, Keys, error) {
-	const cells, iters = 1024, 6
+// ScalingStudy runs a fixed-size Jacobi problem (sweep parameters "cells"
+// and "iters") on growing T805 machines — the classic strong-scaling curve
+// an architecture workbench exists to predict: speedup rises with nodes
+// while parallel efficiency falls as the fixed per-iteration halo
+// communication stops amortising. The largest machine runs under the
+// bottleneck analysis engine; its report is attached as the "bottleneck"
+// artifact.
+func ScalingStudy(s Spec) (*ResultSet, error) {
+	cells, err := s.IntParam("cells", defScalingCells)
+	if err != nil {
+		return nil, err
+	}
+	iters, err := s.IntParam("iters", defScalingIters)
+	if err != nil {
+		return nil, err
+	}
 	grids := []struct{ w, h int }{{2, 1}, {2, 2}, {4, 2}, {4, 4}}
 	tb := stats.NewTable("nodes", "cycles", "speedup", "efficiency")
 	keys := Keys{}
+	var arts []Artifact
 	var base float64
-	for _, g := range grids {
+	for gi, g := range grids {
 		nodes := g.w * g.h
-		m, err := machine.New(machine.T805Grid(g.w, g.h))
-		if err != nil {
-			return nil, nil, err
+		var opts []core.Option
+		if gi == len(grids)-1 {
+			opts = append(opts, core.WithAnalysis())
 		}
-		res, err := m.RunProgram(workload.Jacobi1D(nodes, cells, iters))
+		wb, err := core.New(machine.T805Grid(g.w, g.h), opts...)
 		if err != nil {
-			return nil, nil, err
+			return nil, err
+		}
+		res, err := wb.RunProgram(workload.Jacobi1D(nodes, cells, iters))
+		if err != nil {
+			return nil, err
 		}
 		if base == 0 {
 			base = float64(res.Cycles) * float64(nodes) / 2 // 2-node run scaled to serial estimate
@@ -454,6 +517,9 @@ func ScalingStudy() (*stats.Table, Keys, error) {
 		tb.Row(nodes, int64(res.Cycles), speedup, speedup/float64(nodes))
 		keys[fmt.Sprintf("cycles_%d", nodes)] = float64(res.Cycles)
 		keys[fmt.Sprintf("speedup_%d", nodes)] = speedup
+		if res.Analysis != nil {
+			arts = append(arts, Artifact{Name: "bottleneck", Render: res.Analysis.WriteJSON})
+		}
 	}
-	return tb, keys, nil
+	return &ResultSet{Table: tb, Keys: keys, Artifacts: arts}, nil
 }

@@ -1,7 +1,6 @@
 package stats
 
 import (
-	"encoding/csv"
 	"fmt"
 	"io"
 	"strconv"
@@ -101,20 +100,26 @@ func (t *Table) Render(w io.Writer) error {
 	return nil
 }
 
+// Header returns the column names.
+func (t *Table) Header() []string { return t.header }
+
+// Rows returns the formatted data rows in insertion order. The slice is the
+// table's own storage; callers must not mutate it.
+func (t *Table) Rows() [][]string { return t.rows }
+
+// Schema infers the table's CSV schema from its formatted cells (see
+// InferSchema), attaching the given per-column units if any.
+func (t *Table) Schema(units ...string) Schema {
+	return InferSchema(t.header, t.rows).WithUnits(units)
+}
+
 // RenderCSV writes the table as CSV for post-mortem analysis in external
-// tools.
+// tools. It goes through the workbench's single schema-validated CSV writer:
+// the schema is inferred from the table itself, so writing cannot fail on
+// type grounds, while the artifact gains a schema any reader can re-validate
+// against.
 func (t *Table) RenderCSV(w io.Writer) error {
-	cw := csv.NewWriter(w)
-	if err := cw.Write(t.header); err != nil {
-		return err
-	}
-	for _, row := range t.rows {
-		if err := cw.Write(row); err != nil {
-			return err
-		}
-	}
-	cw.Flush()
-	return cw.Error()
+	return WriteCSV(w, t.Schema(), t.rows)
 }
 
 // RenderSet writes a metric set (and its subsets, indented) as

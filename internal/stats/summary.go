@@ -1,0 +1,46 @@
+package stats
+
+import "math"
+
+// Summary is the grouped aggregate of repeated measurements — the mean/std/
+// min/max block the experiment pipeline reports per (experiment, metric)
+// group across replicas.
+type Summary struct {
+	N    int
+	Mean float64
+	Std  float64
+	Min  float64
+	Max  float64
+}
+
+// Summarize computes the summary of a sample in slice order (the order is
+// fixed by the caller, so the floating-point result is deterministic). Std
+// is the sample standard deviation (n-1 denominator); it is 0 for fewer
+// than two values.
+func Summarize(values []float64) Summary {
+	s := Summary{N: len(values)}
+	if s.N == 0 {
+		return s
+	}
+	s.Min, s.Max = values[0], values[0]
+	var sum float64
+	for _, v := range values {
+		if v < s.Min {
+			s.Min = v
+		}
+		if v > s.Max {
+			s.Max = v
+		}
+		sum += v
+	}
+	s.Mean = sum / float64(s.N)
+	if s.N > 1 {
+		var sq float64
+		for _, v := range values {
+			d := v - s.Mean
+			sq += d * d
+		}
+		s.Std = math.Sqrt(sq / float64(s.N-1))
+	}
+	return s
+}
