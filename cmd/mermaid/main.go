@@ -34,6 +34,7 @@ import (
 	"mermaid/internal/experiments"
 	"mermaid/internal/farm"
 	"mermaid/internal/fault"
+	"mermaid/internal/hostprobe"
 	"mermaid/internal/machine"
 	"mermaid/internal/pearl"
 	"mermaid/internal/probe"
@@ -112,6 +113,9 @@ func main() {
 
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+
+		hostTrace   = flag.String("host-trace", "", "write a wall-clock host trace (Chrome trace-event JSON: shard windows with -shards, farm workers with -repeats) to this file. Host telemetry never changes simulated results")
+		hostMetrics = flag.String("host-metrics", "", "write the parallel engine's telemetry (busy/wait per shard, windows, efficiency) as Prometheus text to this file (requires -shards)")
 	)
 	flag.Parse()
 
@@ -174,6 +178,9 @@ func main() {
 			fatal(fmt.Errorf("-timeline-sample is not supported with -shards (sampling rates on a partition-dependent counter)"))
 		}
 	}
+	if *hostMetrics != "" && cfg.Shards == 0 {
+		fatal(fmt.Errorf("-host-metrics reports the parallel engine; add -shards N"))
+	}
 	if *dumpConfig {
 		if cfg.Version == 0 {
 			cfg.Version = machine.ConfigVersion
@@ -218,6 +225,9 @@ func main() {
 		if *timeline != "" || *metricsOut != "" || *reportPath != "" {
 			fatal(fmt.Errorf("-timeline, -metrics and -report observe a single machine; use -repeats 1"))
 		}
+		if *hostMetrics != "" {
+			fatal(fmt.Errorf("-host-metrics reports one parallel run; use -repeats 1"))
+		}
 		var mon *analysis.Monitor
 		if *monitorAddr != "" {
 			var err error
@@ -227,9 +237,14 @@ func main() {
 			defer mon.Close()
 			fmt.Fprintf(os.Stderr, "mermaid: monitoring on http://%s (/metrics, /progress)\n", mon.Addr())
 		}
-		if err := runReplicated(os.Stdout, cfg, runName, *repeats, *parallel, mon, runOnce); err != nil {
+		var host *hostprobe.Trace
+		if *hostTrace != "" {
+			host = hostprobe.NewTrace()
+		}
+		if err := runReplicated(os.Stdout, cfg, runName, *repeats, *parallel, mon, host, runOnce); err != nil {
 			fatal(err)
 		}
+		writeHostTrace(host, *hostTrace)
 		return
 	}
 
@@ -249,6 +264,18 @@ func main() {
 	m, err := wb.Build()
 	if err != nil {
 		fatal(err)
+	}
+	// Host-side observability: wall-clock only, attached outside the
+	// simulation. Enabling it never changes reports or virtual-time
+	// timelines (pinned by the shard-invariance tests).
+	var host *hostprobe.Trace
+	if *hostTrace != "" {
+		host = hostprobe.NewTrace()
+	}
+	var shardTel *pearl.ShardTelemetry
+	if g := m.ShardGroup(); g != nil {
+		shardTel = g.EnableTelemetry()
+		hostprobe.ShardSpans(host, g)
 	}
 	if *monitor > 0 {
 		if _, err := m.EnableMonitoring(pearl.Time(*monitor)); err != nil {
@@ -307,6 +334,25 @@ func main() {
 	}
 	if err := wb.Report(os.Stdout, res); err != nil {
 		fatal(err)
+	}
+	if shardTel != nil {
+		// Host-side wall-clock profile of the parallel engine: stderr, so the
+		// deterministic report on stdout stays byte-identical run to run.
+		fmt.Fprintln(os.Stderr)
+		if err := hostprobe.WriteShardReport(os.Stderr, shardTel); err != nil {
+			fatal(err)
+		}
+	}
+	writeHostTrace(host, *hostTrace)
+	if *hostMetrics != "" {
+		reg := new(probe.Registry)
+		hostprobe.RegisterShardStats(reg, shardTel)
+		if err := writeFileWith(*hostMetrics, func(w io.Writer) error {
+			return analysis.WriteRegistryMetrics(w, reg)
+		}); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "mermaid: wrote %s\n", *hostMetrics)
 	}
 	if mon := m.Monitor(); mon != nil {
 		fmt.Println("\nrun-time monitor:")
@@ -505,10 +551,11 @@ func runExperimentSet(w io.Writer, exps []experiments.Experiment, csv bool, work
 // reports one row per replica plus batch aggregates — including the message
 // latency distribution merged across every replica. A non-nil monitor is fed
 // run completions for its /progress endpoint.
-func runReplicated(w io.Writer, cfg machine.Config, name string, repeats, workers int, mon *analysis.Monitor, runOnce func(*machine.Machine) (*machine.Result, error)) error {
+func runReplicated(w io.Writer, cfg machine.Config, name string, repeats, workers int, mon *analysis.Monitor, host *hostprobe.Trace, runOnce func(*machine.Machine) (*machine.Result, error)) error {
 	pool := farm.New(workers)
 	pool.Repeats = repeats
 	pool.Seed = cfg.Seed
+	pool.Host = host
 	mon.SetRuns(repeats)
 	pool.OnResult = func(res farm.Result) {
 		mon.ObserveRun(res.Cycles, res.Events)
@@ -609,6 +656,17 @@ func startProfiles(cpuPath, memPath string) (func(), error) {
 			f.Close()
 		}
 	}, nil
+}
+
+// writeHostTrace exports the wall-clock host trace, if one was recorded.
+func writeHostTrace(host *hostprobe.Trace, path string) {
+	if host == nil || path == "" {
+		return
+	}
+	if err := writeFileWith(path, host.WriteJSON); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "mermaid: wrote %s (%d host trace events)\n", path, host.Events())
 }
 
 // writeFileWith creates path and streams render into it, propagating both

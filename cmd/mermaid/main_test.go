@@ -196,7 +196,7 @@ func TestRunReplicated(t *testing.T) {
 	}
 
 	var out bytes.Buffer
-	if err := runReplicated(&out, cfg, "jacobi", 3, 2, nil, runOnce); err != nil {
+	if err := runReplicated(&out, cfg, "jacobi", 3, 2, nil, nil, runOnce); err != nil {
 		t.Fatalf("runReplicated: %v", err)
 	}
 	if got := strings.Count(out.String(), "jacobi"); got != 4 { // header line + one row per replica

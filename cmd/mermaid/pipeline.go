@@ -6,6 +6,7 @@ import (
 	"os"
 	"runtime"
 
+	"mermaid/internal/hostprobe"
 	"mermaid/internal/pipeline"
 )
 
@@ -34,6 +35,7 @@ func pipelineMain(args []string) error {
 		out := fs.String("out", "", "artifact directory (default: a fresh timestamped directory under -root)")
 		root := fs.String("root", "runs", "parent directory for timestamped runs")
 		parallel := fs.Int("parallel", runtime.NumCPU(), "max experiment runs in flight")
+		hostTrace := fs.String("host-trace", "", "write the pipeline's wall-clock schedule (Chrome trace-event JSON: worker runs, write and hash stages) to this file")
 		fs.Parse(rest)
 		if *gridPath == "" {
 			return fmt.Errorf("pipeline run: -grid is required")
@@ -46,12 +48,17 @@ func pipelineMain(args []string) error {
 		if err != nil {
 			return err
 		}
+		var host *hostprobe.Trace
+		if *hostTrace != "" {
+			host = hostprobe.NewTrace()
+		}
 		man, dir, err := pipeline.Run(grid, pipeline.Options{
-			Dir: *out, Root: *root, Workers: *parallel, Log: os.Stderr,
+			Dir: *out, Root: *root, Workers: *parallel, Log: os.Stderr, Host: host,
 		})
 		if err != nil {
 			return err
 		}
+		writeHostTrace(host, *hostTrace)
 		fmt.Printf("mermaid: wrote %s (%d runs, %d files)\n", dir, len(man.Runs), len(man.Files))
 		return nil
 

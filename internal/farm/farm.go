@@ -21,7 +21,9 @@ import (
 	"sync/atomic"
 	"time"
 
+	"mermaid/internal/hostprobe"
 	"mermaid/internal/pearl"
+	"mermaid/internal/probe"
 	"mermaid/internal/stats"
 )
 
@@ -86,6 +88,9 @@ type Result struct {
 	Err error
 	// Wall is the host time this run took.
 	Wall time.Duration
+	// QueueWait is how long the run sat waiting for a worker: from batch
+	// start (Pool.Run) or submission (Queue.Submit) until execution began.
+	QueueWait time.Duration
 	// Cycles and Events are the simulated outcome observed via ObserveSim.
 	Cycles pearl.Time
 	Events uint64
@@ -108,6 +113,11 @@ type Pool struct {
 	// goroutines and must be safe for concurrent use; it observes results,
 	// it cannot change them.
 	OnResult func(Result)
+	// Host, when non-nil, receives one wall-clock span per run on a
+	// "farm.wN" track per worker, named after the job — the farm's schedule
+	// in a host trace (internal/hostprobe). Host telemetry observes runs; it
+	// never affects them.
+	Host *hostprobe.Trace
 }
 
 // New returns a pool with the given worker count.
@@ -143,8 +153,12 @@ func (p *Pool) Run(jobs []Job) *Report {
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
+			var track probe.Track
+			if p.Host != nil {
+				track = p.Host.Track(fmt.Sprintf("farm.w%d", w))
+			}
 			for {
 				i := int(atomic.AddInt64(&next, 1))
 				if i >= n {
@@ -163,9 +177,13 @@ func (p *Pool) Run(jobs []Job) *Report {
 				}
 				res := Result{Index: rc.Index, Replica: rc.Replica, Name: job.Name, Seed: rc.Seed}
 				t0 := time.Now()
+				res.QueueWait = t0.Sub(start)
 				res.Value, res.Err = runIsolated(job, rc)
 				res.Wall = time.Since(t0)
 				res.Cycles, res.Events = rc.cycles, rc.events
+				if p.Host != nil {
+					p.Host.SpanSince(track, job.Name, t0)
+				}
 				rep.Results[i] = res
 				if job.OnResult != nil {
 					job.OnResult(res)
@@ -174,7 +192,7 @@ func (p *Pool) Run(jobs []Job) *Report {
 					p.OnResult(res)
 				}
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 
@@ -256,13 +274,17 @@ func (r *Report) Summary() *stats.Set {
 	s := stats.NewSet("farm")
 	var cycles pearl.Time
 	var events uint64
-	var sumWall time.Duration
+	var sumWall, sumWait, maxWait time.Duration
 	failures := 0
 	for i := range r.Results {
 		res := &r.Results[i]
 		cycles += res.Cycles
 		events += res.Events
 		sumWall += res.Wall
+		sumWait += res.QueueWait
+		if res.QueueWait > maxWait {
+			maxWait = res.QueueWait
+		}
 		if res.Err != nil {
 			failures++
 		}
@@ -279,6 +301,8 @@ func (r *Report) Summary() *stats.Set {
 		s.Put("speedup", sumWall.Seconds()/secs, "x")
 	}
 	if n := len(r.Results); n > 0 {
+		s.Put("queue wait mean", float64(sumWait.Microseconds())/1000/float64(n), "ms")
+		s.Put("queue wait max", float64(maxWait.Microseconds())/1000, "ms")
 		// Process-global estimate — see Report.AllocBytes for the caveats.
 		s.Put("host alloc/run", float64(r.AllocBytes)/1024/float64(n), "KiB")
 	}

@@ -2,6 +2,7 @@ package farm
 
 import (
 	"errors"
+	"fmt"
 	"sync"
 	"time"
 )
@@ -43,6 +44,9 @@ type queuedJob struct {
 	job  Job
 	seed uint64
 	idx  int
+	// submitted is when Submit accepted the job; the gap to run start is the
+	// job's reported QueueWait.
+	submitted time.Time
 }
 
 // StartQueue starts the pool's workers on a bounded queue holding at most
@@ -60,12 +64,12 @@ func (p *Pool) StartQueue(depth int) *Queue {
 	q := &Queue{p: p, jobs: make(chan queuedJob, depth)}
 	for w := 0; w < workers; w++ {
 		q.wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer q.wg.Done()
 			for qj := range q.jobs {
-				q.run(qj)
+				q.run(w, qj)
 			}
-		}()
+		}(w)
 	}
 	return q
 }
@@ -79,7 +83,7 @@ func (q *Queue) Submit(job Job, seed uint64) error {
 		return ErrQueueClosed
 	}
 	select {
-	case q.jobs <- queuedJob{job: job, seed: seed, idx: q.next}:
+	case q.jobs <- queuedJob{job: job, seed: seed, idx: q.next, submitted: time.Now()}:
 		q.next++
 		return nil
 	default:
@@ -101,13 +105,18 @@ func (q *Queue) Close() {
 	q.wg.Wait()
 }
 
-func (q *Queue) run(qj queuedJob) {
+func (q *Queue) run(w int, qj queuedJob) {
 	rc := &RunContext{Index: qj.idx, Seed: qj.seed}
 	res := Result{Index: qj.idx, Name: qj.job.Name, Seed: qj.seed}
 	t0 := time.Now()
+	res.QueueWait = t0.Sub(qj.submitted)
 	res.Value, res.Err = runIsolated(qj.job, rc)
 	res.Wall = time.Since(t0)
 	res.Cycles, res.Events = rc.cycles, rc.events
+	if q.p.Host != nil {
+		track := q.p.Host.Track(fmt.Sprintf("farm.w%d", w))
+		q.p.Host.SpanSince(track, qj.job.Name, t0)
+	}
 	if qj.job.OnResult != nil {
 		qj.job.OnResult(res)
 	}

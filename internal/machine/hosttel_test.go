@@ -1,0 +1,82 @@
+package machine
+
+import (
+	"bytes"
+	"testing"
+
+	"mermaid/internal/pearl"
+	"mermaid/internal/probe"
+	"mermaid/internal/sim"
+	"mermaid/internal/stats"
+	"mermaid/internal/stochastic"
+)
+
+// TestShardTelemetryDoesNotPerturb pins the host-telemetry guarantee: a
+// sharded run with telemetry and the window-span hook enabled produces a
+// byte-identical stats report and virtual-time timeline to the same run
+// without them, at every shard count.
+func TestShardTelemetryDoesNotPerturb(t *testing.T) {
+	cfg := T805GridTaskLevel(2, 2)
+	cfg.Seed = 7
+	desc := stochastic.Desc{
+		Name: "hosttel", Nodes: 4, Level: stochastic.TaskLevel, Seed: 11, Iterations: 8,
+		Phases: []stochastic.Phase{{
+			Duration: 3000, CV: 0.3,
+			Comm: stochastic.Comm{Pattern: stochastic.NearestNeighbor, Bytes: 1024, Jitter: true},
+		}},
+	}
+
+	run := func(shards int, observe bool) (string, string, *pearl.ShardTelemetry) {
+		t.Helper()
+		c := cfg
+		c.Shards = shards
+		pb := probe.New(probe.Config{Timeline: true})
+		m, err := Build(sim.Env{Kernel: pearl.NewKernel(), RNG: pearl.NewRNG(c.Seed), Probe: pb}, c)
+		if err != nil {
+			t.Fatalf("shards=%d: build: %v", shards, err)
+		}
+		var tel *pearl.ShardTelemetry
+		if observe {
+			g := m.ShardGroup()
+			if g == nil {
+				t.Fatalf("shards=%d: no shard group", shards)
+			}
+			tel = g.EnableTelemetry()
+			g.SetWindowSpanHook(func(pearl.WindowSpan) {})
+		}
+		res, err := m.RunStochastic(desc)
+		if err != nil {
+			t.Fatalf("shards=%d: run: %v", shards, err)
+		}
+		var report bytes.Buffer
+		if err := stats.RenderSet(&report, res.Stats); err != nil {
+			t.Fatal(err)
+		}
+		var tl bytes.Buffer
+		if err := m.MergedTimeline().WriteJSON(&tl); err != nil {
+			t.Fatal(err)
+		}
+		return report.String(), tl.String(), tel
+	}
+
+	for _, shards := range []int{1, 2, 4} {
+		plainRep, plainTL, _ := run(shards, false)
+		obsRep, obsTL, tel := run(shards, true)
+		if obsRep != plainRep {
+			t.Errorf("shards=%d: telemetry changed the stats report", shards)
+		}
+		if obsTL != plainTL {
+			t.Errorf("shards=%d: telemetry changed the timeline export", shards)
+		}
+		if tel.Windows == 0 {
+			t.Errorf("shards=%d: telemetry recorded no windows", shards)
+		}
+		var events uint64
+		for i := range tel.Shards {
+			events += tel.Shards[i].Events
+		}
+		if events == 0 {
+			t.Errorf("shards=%d: telemetry recorded no events", shards)
+		}
+	}
+}

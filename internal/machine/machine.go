@@ -410,6 +410,12 @@ func (m *Machine) DSM() *dsm.Layer { return m.dsm }
 // Kernel returns the machine's simulation kernel.
 func (m *Machine) Kernel() *pearl.Kernel { return m.k }
 
+// ShardGroup returns the parallel engine's shard group, or nil when the
+// machine runs single-kernel (cfg.Shards == 0). Callers use it to attach
+// host-side telemetry (pearl.ShardGroup.EnableTelemetry, window-span
+// hooks); host observation never affects simulated results.
+func (m *Machine) ShardGroup() *pearl.ShardGroup { return m.group }
+
 // Collector returns the bottleneck-analysis collector, or nil when the
 // analyzer is off.
 func (m *Machine) Collector() *analysis.Collector { return m.col }

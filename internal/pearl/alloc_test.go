@@ -54,6 +54,41 @@ func TestAllocFreeTimerCancel(t *testing.T) {
 	}
 }
 
+func TestAllocFreeShardRunDisabled(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under the race detector")
+	}
+	// With telemetry and the span hook both off, the windowed loop must not
+	// touch the host clock or allocate: observation is strictly opt-in.
+	g := NewShardGroup(1, 8)
+	k := g.Kernel(0)
+	fn := func() {}
+	for i := 0; i < 8; i++ {
+		k.After(1, fn)
+		g.Run()
+	}
+	if got := testing.AllocsPerRun(100, func() {
+		k.After(1, fn)
+		g.Run()
+	}); got != 0 {
+		t.Errorf("unobserved single-shard Run allocates %v times per window; want 0", got)
+	}
+}
+
+func TestAllocFreeLogHistObserve(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under the race detector")
+	}
+	var h LogHist
+	var v uint64
+	if got := testing.AllocsPerRun(200, func() {
+		v++
+		h.Observe(v)
+	}); got != 0 {
+		t.Errorf("LogHist.Observe allocates %v times per op; want 0", got)
+	}
+}
+
 func TestAllocFreeHold(t *testing.T) {
 	if raceEnabled {
 		t.Skip("allocation counts are not meaningful under the race detector")

@@ -3,6 +3,7 @@ package pearl
 import (
 	"fmt"
 	"sort"
+	"time"
 )
 
 // ShardGroup couples several kernels into one conservative parallel
@@ -32,6 +33,12 @@ type ShardGroup struct {
 	// happens-before edge for both directions.
 	cross   [][]crossEvent
 	scratch []crossEvent
+
+	// Host-side introspection (shardtel.go). Both nil by default: the
+	// window loop then takes no wall-clock timestamps at all.
+	tel        *ShardTelemetry
+	spanHook   func(WindowSpan)
+	resScratch []windowRes
 }
 
 // crossEvent is one buffered cross-shard event: a callback to run at an
@@ -102,6 +109,10 @@ func (g *ShardGroup) drain() {
 		g.scratch = g.scratch[:0]
 		for src := 0; src < n; src++ {
 			box := &g.cross[src*n+dst]
+			if g.tel != nil && len(*box) > 0 {
+				g.tel.Traffic[src*n+dst] += uint64(len(*box))
+				g.tel.Shards[src].Sent += uint64(len(*box))
+			}
 			g.scratch = append(g.scratch, *box...)
 			*box = (*box)[:0]
 		}
@@ -139,6 +150,15 @@ func (g *ShardGroup) drain() {
 // on.
 func (g *ShardGroup) Run() Time {
 	n := len(g.kernels)
+	// Host-side observation (telemetry, window spans) measures wall time
+	// around the protocol; it never touches virtual time or event order.
+	obs := g.observed()
+	var runStart time.Time
+	var evBase []uint64
+	if obs {
+		runStart = time.Now()
+		evBase = make([]uint64, n)
+	}
 	var workers []*shardWorker
 	if n > 1 {
 		workers = make([]*shardWorker, n)
@@ -151,6 +171,8 @@ func (g *ShardGroup) Run() Time {
 			}
 		}()
 	}
+	var window uint64
+	var lastNext Time
 	for {
 		g.drain()
 		next := Forever
@@ -167,22 +189,52 @@ func (g *ShardGroup) Run() Time {
 			break
 		}
 		end := next + g.lookahead
+		if obs {
+			for i, k := range g.kernels {
+				evBase[i] = k.EventCount()
+			}
+			if g.tel != nil && window > 0 {
+				g.tel.Advance.Observe(uint64(next - lastNext))
+			}
+			lastNext = next
+		}
 		if workers == nil {
-			g.kernels[0].RunWindow(end)
+			if obs {
+				t0 := time.Now()
+				g.kernels[0].RunWindow(end)
+				g.resScratch = append(g.resScratch[:0], windowRes{t0: t0, t1: time.Now()})
+				g.windowDone(window, next, end, g.resScratch, evBase)
+			} else {
+				g.kernels[0].RunWindow(end)
+			}
+			window++
 			continue
 		}
 		for _, w := range workers {
-			w.start <- end
+			w.start <- windowReq{end: end, measure: obs}
 		}
 		var panicked any
+		results := g.resScratch[:0]
 		for _, w := range workers {
-			if r := <-w.done; r != nil && panicked == nil {
-				panicked = r
+			r := <-w.done
+			if r.panicked != nil && panicked == nil {
+				panicked = r.panicked
+			}
+			if obs {
+				results = append(results, r)
 			}
 		}
+		g.resScratch = results
 		if panicked != nil {
 			panic(panicked)
 		}
+		if obs {
+			g.windowDone(window, next, end, results, evBase)
+		}
+		window++
+	}
+	if g.tel != nil {
+		g.tel.Wall += time.Since(runStart)
 	}
 	var end Time
 	for _, k := range g.kernels {
@@ -196,18 +248,76 @@ func (g *ShardGroup) Run() Time {
 	return end
 }
 
+// windowDone folds one finished window into the telemetry record and the
+// span hook. res is index-aligned with the shards; the barrier-wait of a
+// shard is the gap between its own finish and the slowest shard's.
+func (g *ShardGroup) windowDone(window uint64, vstart, vend Time, res []windowRes, evBase []uint64) {
+	last := res[0].t1
+	for _, r := range res[1:] {
+		if r.t1.After(last) {
+			last = r.t1
+		}
+	}
+	var totalEvents uint64
+	for s := range res {
+		r := &res[s]
+		events := g.kernels[s].EventCount() - evBase[s]
+		totalEvents += events
+		if g.tel != nil {
+			ld := &g.tel.Shards[s]
+			ld.Busy += r.t1.Sub(r.t0)
+			ld.Wait += last.Sub(r.t1)
+			ld.Events += events
+		}
+		if g.spanHook != nil {
+			g.spanHook(WindowSpan{
+				Shard: s, Window: window,
+				Start: r.t0, End: r.t1,
+				VStart: vstart, VEnd: vend,
+				Events: events,
+			})
+		}
+	}
+	if g.tel != nil {
+		g.tel.Windows++
+		g.tel.WindowEvents.Observe(totalEvents)
+	}
+}
+
 // shardWorker is the persistent goroutine executing one shard's windows: a
 // channel handshake per window instead of a goroutine spawn per window.
 type shardWorker struct {
-	start chan Time
-	done  chan any
+	start chan windowReq
+	done  chan windowRes
+}
+
+// windowReq asks a worker to run one window; measure requests wall-clock
+// timestamps around the execution.
+type windowReq struct {
+	end     Time
+	measure bool
+}
+
+// windowRes is a worker's answer: the captured panic, if any, and — when
+// measured — the wall-clock bounds of the window's execution.
+type windowRes struct {
+	panicked any
+	t0, t1   time.Time
 }
 
 func startWorker(k *Kernel) *shardWorker {
-	w := &shardWorker{start: make(chan Time), done: make(chan any)}
+	w := &shardWorker{start: make(chan windowReq), done: make(chan windowRes)}
 	go func() {
-		for end := range w.start {
-			w.done <- runWindowRecover(k, end)
+		for req := range w.start {
+			var res windowRes
+			if req.measure {
+				res.t0 = time.Now()
+			}
+			res.panicked = runWindowRecover(k, req.end)
+			if req.measure {
+				res.t1 = time.Now()
+			}
+			w.done <- res
 		}
 	}()
 	return w

@@ -15,6 +15,7 @@ import (
 
 	"mermaid/internal/experiments"
 	"mermaid/internal/farm"
+	"mermaid/internal/hostprobe"
 	"mermaid/internal/stats"
 )
 
@@ -36,6 +37,12 @@ type Options struct {
 	Now func() time.Time
 	// Log receives one progress line per completed run (default: discard).
 	Log io.Writer
+	// Host, when non-nil, records the pipeline's wall-clock schedule: one
+	// span per experiment run on the farm's worker tracks, plus
+	// coordinator-stage spans (runs, write, hash) on a "pipeline" track.
+	// Host telemetry never changes artifacts — the directory layout,
+	// manifest and file hashes are identical with and without it.
+	Host *hostprobe.Trace
 }
 
 // unit is one scheduled experiment execution.
@@ -94,6 +101,8 @@ func Run(grid *GridSpec, opts Options) (*Manifest, string, error) {
 	var logMu sync.Mutex
 	pool := farm.New(workers)
 	pool.Seed = grid.Seed
+	pool.Host = opts.Host
+	hostTrk := opts.Host.Track("pipeline") // nil-safe: all hostprobe calls no-op without a trace
 	pool.OnResult = func(r farm.Result) {
 		logMu.Lock()
 		defer logMu.Unlock()
@@ -123,7 +132,9 @@ func Run(grid *GridSpec, opts Options) (*Manifest, string, error) {
 			return buildOutput(u, rs, time.Since(start))
 		}}
 	}
+	runsStart := time.Now()
 	rep := pool.Run(jobs)
+	opts.Host.SpanSince(hostTrk, "runs", runsStart)
 	if err := rep.Errs(); err != nil {
 		return nil, "", err
 	}
@@ -141,6 +152,7 @@ func Run(grid *GridSpec, opts Options) (*Manifest, string, error) {
 
 	// Single-threaded writer: submission order, independent of completion
 	// order.
+	writeStart := time.Now()
 	for _, v := range rep.Values() {
 		out := v.(*unitOutput)
 		if out == nil { // warmup
@@ -163,7 +175,9 @@ func Run(grid *GridSpec, opts Options) (*Manifest, string, error) {
 		return nil, "", err
 	}
 	man.Schemas[sum.path] = summarySchema
+	opts.Host.SpanSince(hostTrk, "write", writeStart)
 
+	hashStart := time.Now()
 	files, err := listArtifacts(dir)
 	if err != nil {
 		return nil, "", err
@@ -175,6 +189,7 @@ func Run(grid *GridSpec, opts Options) (*Manifest, string, error) {
 		}
 		man.Files[rel] = h
 	}
+	opts.Host.SpanSince(hostTrk, "hash", hashStart)
 
 	mf, err := os.Create(filepath.Join(dir, manifestFile))
 	if err != nil {

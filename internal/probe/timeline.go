@@ -47,6 +47,12 @@ type event struct {
 	ph    byte // 'X' complete span, 'i' instant
 }
 
+// NewTimeline returns a standalone, unsampled timeline recorder. Probes
+// allocate their own timeline via New; this constructor is for reusing the
+// recorder and its JSON writer on other time axes — internal/hostprobe
+// records wall-clock microseconds through it.
+func NewTimeline() *Timeline { return newTimeline(1) }
+
 func newTimeline(sampleEvery uint64) *Timeline {
 	return &Timeline{
 		sampleEvery: sampleEvery,

@@ -65,14 +65,21 @@ type Entry struct {
 	Events uint64
 }
 
+// size returns the entry's artifact payload in bytes, the unit the cache's
+// byte gauge accounts in.
+func (e *Entry) size() uint64 {
+	return uint64(len(e.Report) + len(e.Metrics) + len(e.Timeline) + len(e.Bottleneck))
+}
+
 // Cache is a bounded in-memory LRU of run artifacts, safe for concurrent
 // use by HTTP handlers and farm workers. Hit, miss and eviction counts are
 // exported through Register for the server's /metrics endpoint.
 type Cache struct {
-	mu   sync.Mutex
-	max  int
-	ll   *list.List // front = most recently used
-	byID map[string]*list.Element
+	mu    sync.Mutex
+	max   int
+	ll    *list.List // front = most recently used
+	byID  map[string]*list.Element
+	bytes uint64 // total artifact bytes of resident entries; guarded by mu
 
 	hits      atomic.Uint64
 	misses    atomic.Uint64
@@ -100,6 +107,7 @@ func (c *Cache) Register(reg *probe.Registry) {
 	reg.Gauge("resultcache.misses", "", func() float64 { return float64(c.misses.Load()) })
 	reg.Gauge("resultcache.evictions", "", func() float64 { return float64(c.evictions.Load()) })
 	reg.Gauge("resultcache.entries", "", func() float64 { return float64(c.Len()) })
+	reg.Gauge("resultcache.bytes", "B", func() float64 { return float64(c.Bytes()) })
 }
 
 // Get returns the artifacts stored under the key, counting a hit or a miss
@@ -126,15 +134,20 @@ func (c *Cache) Put(k Key, e Entry) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.byID[id]; ok {
-		el.Value.(*lruItem).e = e
+		item := el.Value.(*lruItem)
+		c.bytes += e.size() - item.e.size()
+		item.e = e
 		c.ll.MoveToFront(el)
 		return
 	}
 	c.byID[id] = c.ll.PushFront(&lruItem{id: id, e: e})
+	c.bytes += e.size()
 	for c.ll.Len() > c.max {
 		last := c.ll.Back()
 		c.ll.Remove(last)
-		delete(c.byID, last.Value.(*lruItem).id)
+		item := last.Value.(*lruItem)
+		delete(c.byID, item.id)
+		c.bytes -= item.e.size()
 		c.evictions.Add(1)
 	}
 }
@@ -154,3 +167,11 @@ func (c *Cache) Misses() uint64 { return c.misses.Load() }
 
 // Evictions returns the number of entries dropped to capacity.
 func (c *Cache) Evictions() uint64 { return c.evictions.Load() }
+
+// Bytes returns the total artifact bytes of resident entries — the cache's
+// memory footprint, excluding bookkeeping.
+func (c *Cache) Bytes() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes
+}

@@ -105,3 +105,35 @@ func TestCacheConcurrent(t *testing.T) {
 		t.Errorf("cache overflowed capacity: %d", c.Len())
 	}
 }
+
+// TestCacheBytes checks the byte gauge tracks stores, replacements and
+// evictions.
+func TestCacheBytes(t *testing.T) {
+	c := resultcache.New(2)
+	k := func(i int) resultcache.Key { return resultcache.Key{Config: "c", Seed: uint64(i)} }
+	ent := func(n int) resultcache.Entry {
+		return resultcache.Entry{Report: make([]byte, n), Timeline: make([]byte, n)}
+	}
+	if c.Bytes() != 0 {
+		t.Fatalf("empty cache reports %d bytes", c.Bytes())
+	}
+	c.Put(k(1), ent(100)) // 200 B
+	c.Put(k(2), ent(50))  // +100 B
+	if got := c.Bytes(); got != 300 {
+		t.Errorf("Bytes = %d, want 300", got)
+	}
+	c.Put(k(1), ent(10)) // replace: 200 -> 20
+	if got := c.Bytes(); got != 120 {
+		t.Errorf("Bytes after replace = %d, want 120", got)
+	}
+	c.Put(k(3), ent(5)) // evicts k(2): +10 -100
+	if got := c.Bytes(); got != 30 {
+		t.Errorf("Bytes after eviction = %d, want 30", got)
+	}
+
+	pb := probe.New(probe.Config{})
+	c.Register(pb.Registry())
+	if got := pb.Registry().Lookup("resultcache.bytes").Read(); got != 30 {
+		t.Errorf("registry bytes = %v, want 30", got)
+	}
+}

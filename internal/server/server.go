@@ -22,9 +22,13 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
+	"io"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -34,6 +38,7 @@ import (
 	"mermaid/internal/core"
 	"mermaid/internal/farm"
 	"mermaid/internal/fault"
+	"mermaid/internal/hostprobe"
 	"mermaid/internal/machine"
 	"mermaid/internal/pearl"
 	"mermaid/internal/probe"
@@ -54,6 +59,16 @@ type Config struct {
 	// SampleEvery is the virtual-time interval of each job's live metric
 	// sampling (values below 1 mean 10000 cycles).
 	SampleEvery pearl.Time
+	// Log receives the service's structured operational log: one line per
+	// job-lifecycle event (accept, start, finish, fail, reject), each
+	// carrying the job id for correlation. Nil discards the log. Logging
+	// observes jobs on the host side only; simulation results are identical
+	// with and without it.
+	Log *slog.Logger
+	// EnablePprof mounts net/http/pprof's profiling handlers under
+	// /debug/pprof/. Off by default: profiling endpoints expose internals
+	// and cost memory, so operators opt in.
+	EnablePprof bool
 }
 
 func (c Config) withDefaults() Config {
@@ -69,21 +84,27 @@ func (c Config) withDefaults() Config {
 	if c.SampleEvery < 1 {
 		c.SampleEvery = 10000
 	}
+	if c.Log == nil {
+		c.Log = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
 	return c
 }
 
 // Server is the simulation service. Create with New, expose via Handler,
 // stop with Close.
 type Server struct {
-	cfg   Config
-	queue *farm.Queue
-	cache *resultcache.Cache
-	reg   *probe.Registry
-	mux   *http.ServeMux
+	cfg     Config
+	log     *slog.Logger
+	queue   *farm.Queue
+	cache   *resultcache.Cache
+	reg     *probe.Registry
+	mux     *http.ServeMux
+	started time.Time
 
-	mu    sync.Mutex
-	jobs  map[string]*job
-	order []string
+	mu     sync.Mutex
+	jobs   map[string]*job
+	order  []string
+	nextID int
 
 	submitted atomic.Uint64
 	completed atomic.Uint64
@@ -101,12 +122,19 @@ type job struct {
 	key     resultcache.Key
 	scope   *analysis.Scope
 	created time.Time
+	// host is the job's wall-clock trace: cache lookup, queue wait and run
+	// spans, served at /jobs/{id}/hosttrace. Host-side only — it observes
+	// the job's schedule, never the simulation.
+	host    *hostprobe.Trace
+	hostTrk probe.Track
 
-	mu     sync.Mutex
-	state  string // "queued", "running", "done", "failed"
-	cached bool
-	errMsg string
-	entry  resultcache.Entry
+	mu        sync.Mutex
+	state     string // "queued", "running", "done", "failed"
+	cached    bool
+	errMsg    string
+	entry     resultcache.Entry
+	queueWait time.Duration
+	wall      time.Duration
 }
 
 // New starts the service: a farm queue with cfg.Workers workers and a
@@ -114,10 +142,12 @@ type job struct {
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:   cfg,
-		cache: resultcache.New(cfg.CacheEntries),
-		reg:   new(probe.Registry),
-		jobs:  make(map[string]*job),
+		cfg:     cfg,
+		log:     cfg.Log,
+		cache:   resultcache.New(cfg.CacheEntries),
+		reg:     new(probe.Registry),
+		jobs:    make(map[string]*job),
+		started: time.Now(),
 	}
 	s.queue = farm.New(cfg.Workers).StartQueue(cfg.QueueDepth)
 
@@ -138,10 +168,16 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("GET /jobs/{id}/report", s.artifact("report", "text/plain; charset=utf-8"))
 	mux.HandleFunc("GET /jobs/{id}/timeline", s.artifact("timeline", "application/json"))
 	mux.HandleFunc("GET /jobs/{id}/bottleneck", s.artifact("bottleneck", "application/json"))
+	mux.HandleFunc("GET /jobs/{id}/hosttrace", s.handleHostTrace)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
-		fmt.Fprintln(w, "ok")
-	})
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	if cfg.EnablePprof {
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	s.mux = mux
 	return s
 }
@@ -152,6 +188,31 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // Close stops accepting work and waits for queued and in-flight
 // simulations to finish.
 func (s *Server) Close() { s.queue.Close() }
+
+// Drain closes the queue and waits for queued and in-flight simulations up
+// to the context's deadline. Of the jobs still pending when the drain
+// began, it returns how many finished (drained) and how many were still
+// unfinished when it gave up (aborted; the queue keeps finishing them in
+// the background, but the caller is exiting). Logs one summary line either
+// way.
+func (s *Server) Drain(ctx context.Context) (drained, aborted int) {
+	pending := int(s.queued.Load() + s.running.Load())
+	done := make(chan struct{})
+	go func() {
+		s.queue.Close()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+	}
+	aborted = int(s.queued.Load() + s.running.Load())
+	if drained = pending - aborted; drained < 0 {
+		drained = 0
+	}
+	s.log.Info("drain complete", "drained", drained, "aborted", aborted)
+	return drained, aborted
+}
 
 // Cache returns the result cache (counters for tests and ops tooling).
 func (s *Server) Cache() *resultcache.Cache { return s.cache }
@@ -331,10 +392,15 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		key:     key,
 		scope:   analysis.NewScope(),
 		created: time.Now(),
+		host:    hostprobe.NewTrace(),
 	}
+	j.hostTrk = j.host.Track("job")
 	j.scope.SetRuns(1)
 
-	if entry, ok := s.cache.Get(key); ok {
+	lookupStart := time.Now()
+	entry, hit := s.cache.Get(key)
+	j.host.SpanSince(j.hostTrk, "cache.lookup", lookupStart)
+	if hit {
 		// Determinism makes the stored artifacts byte-identical to what a
 		// fresh run would produce — answer without touching a kernel.
 		j.state = "done"
@@ -344,20 +410,31 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		j.scope.RunDone()
 		j.scope.Finish()
 		s.register(j)
+		s.log.Info("job accepted", "job", j.id, "name", j.name, "key", j.key.ID(), "cache", "hit")
 		s.writeJobJSON(w, http.StatusOK, j)
 		return
 	}
 
+	// The id must exist before the job can reach a worker: the worker logs
+	// and publishes state under it, and a fast run could otherwise finish
+	// before registration. A rejected submission is unpublished again.
 	j.state = "queued"
+	s.register(j)
 	fj := farm.Job{
 		Name: name,
 		Run: func(*farm.RunContext) (any, error) {
 			s.queued.Add(-1)
 			s.running.Add(1)
+			runStart := time.Now()
+			j.host.Span(j.hostTrk, "queued", j.created, runStart)
 			j.mu.Lock()
 			j.state = "running"
+			j.queueWait = runStart.Sub(j.created)
 			j.mu.Unlock()
-			return s.execute(j, cfg, desc)
+			s.log.Info("job started", "job", j.id, "queue_wait_ms", durMS(runStart.Sub(j.created)))
+			v, err := s.execute(j, cfg, desc)
+			j.host.SpanSince(j.hostTrk, "run", runStart)
+			return v, err
 		},
 		// The job-scoped hook finalises this job only; other jobs sharing
 		// the queue deliver to their own hooks.
@@ -366,41 +443,70 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			j.scope.RunDone()
 			j.scope.Finish()
 			j.mu.Lock()
+			j.wall = res.Wall
 			if res.Err != nil {
 				j.state = "failed"
 				j.errMsg = res.Err.Error()
 				j.mu.Unlock()
 				s.failed.Add(1)
+				s.log.Error("job failed", "job", j.id, "wall_ms", durMS(res.Wall), "err", res.Err)
 				return
 			}
 			entry := res.Value.(resultcache.Entry)
 			j.state = "done"
 			j.entry = entry
 			j.mu.Unlock()
+			storeStart := time.Now()
 			s.cache.Put(j.key, entry)
+			j.host.SpanSince(j.hostTrk, "cache.store", storeStart)
 			s.completed.Add(1)
+			s.log.Info("job finished", "job", j.id,
+				"wall_ms", durMS(res.Wall), "queue_wait_ms", durMS(res.QueueWait),
+				"cycles", entry.Cycles, "events", entry.Events)
 		},
 	}
 	if err := s.queue.Submit(fj, cfg.Seed); err != nil {
+		s.unregister(j)
 		s.rejected.Add(1)
+		s.log.Warn("job rejected", "name", name, "err", err)
 		httpError(w, http.StatusServiceUnavailable, "%v", err)
 		return
 	}
 	s.queued.Add(1)
-	s.register(j)
+	s.log.Info("job accepted", "job", j.id, "name", j.name, "key", j.key.ID(), "cache", "miss")
 	s.writeJobJSON(w, http.StatusAccepted, j)
 }
 
 // register assigns the job its id and publishes it. Submission order is the
-// listing order.
+// listing order; ids count up and are never reused, even when a rejected
+// submission is unregistered again.
 func (s *Server) register(j *job) {
 	s.mu.Lock()
-	j.id = fmt.Sprintf("j%d", len(s.order)+1)
+	s.nextID++
+	j.id = fmt.Sprintf("j%d", s.nextID)
 	s.jobs[j.id] = j
 	s.order = append(s.order, j.id)
 	s.mu.Unlock()
 	s.submitted.Add(1)
 }
+
+// unregister withdraws a job whose submission the queue refused.
+func (s *Server) unregister(j *job) {
+	s.mu.Lock()
+	delete(s.jobs, j.id)
+	for i, id := range s.order {
+		if id == j.id {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			break
+		}
+	}
+	s.mu.Unlock()
+	s.submitted.Add(^uint64(0))
+}
+
+// durMS renders a duration as fractional milliseconds for log and status
+// output.
+func durMS(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
 
 func (s *Server) lookup(r *http.Request) *job {
 	s.mu.Lock()
@@ -408,28 +514,34 @@ func (s *Server) lookup(r *http.Request) *job {
 	return s.jobs[r.PathValue("id")]
 }
 
-// jobJSON is the wire format of one job's status.
+// jobJSON is the wire format of one job's status. QueueWaitMS and WallMS
+// are host-side wall-clock observations (submission-to-start and run time);
+// they vary run to run while every simulated field is deterministic.
 type jobJSON struct {
-	ID     string `json:"id"`
-	Name   string `json:"name"`
-	State  string `json:"state"`
-	Cached bool   `json:"cached"`
-	Key    string `json:"key"`
-	Error  string `json:"error,omitempty"`
-	Cycles int64  `json:"cycles,omitempty"`
-	Events uint64 `json:"events,omitempty"`
+	ID          string  `json:"id"`
+	Name        string  `json:"name"`
+	State       string  `json:"state"`
+	Cached      bool    `json:"cached"`
+	Key         string  `json:"key"`
+	Error       string  `json:"error,omitempty"`
+	Cycles      int64   `json:"cycles,omitempty"`
+	Events      uint64  `json:"events,omitempty"`
+	QueueWaitMS float64 `json:"queue_wait_ms"`
+	WallMS      float64 `json:"wall_ms"`
 }
 
 func (j *job) json() jobJSON {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	out := jobJSON{
-		ID:     j.id,
-		Name:   j.name,
-		State:  j.state,
-		Cached: j.cached,
-		Key:    j.key.ID(),
-		Error:  j.errMsg,
+		ID:          j.id,
+		Name:        j.name,
+		State:       j.state,
+		Cached:      j.cached,
+		Key:         j.key.ID(),
+		Error:       j.errMsg,
+		QueueWaitMS: durMS(j.queueWait),
+		WallMS:      durMS(j.wall),
 	}
 	if j.state == "done" {
 		out.Cycles = j.entry.Cycles
@@ -540,6 +652,36 @@ func (s *Server) artifact(which, contentType string) http.HandlerFunc {
 		w.Header().Set("Content-Type", contentType)
 		w.Write(data) //nolint:errcheck // best-effort over HTTP
 	}
+}
+
+// handleHostTrace serves the job's wall-clock schedule (cache lookup, queue
+// wait, run) as a Chrome trace-event document.
+func (s *Server) handleHostTrace(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(r)
+	if j == nil {
+		httpError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	j.host.WriteJSON(w) //nolint:errcheck // best-effort over HTTP
+}
+
+// handleHealthz answers liveness probes: 200 with a small JSON status as
+// long as the process serves requests.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	out := struct {
+		Status  string  `json:"status"`
+		UptimeS float64 `json:"uptime_s"`
+		Queued  int64   `json:"jobs_queued"`
+		Running int64   `json:"jobs_running"`
+	}{
+		Status:  "ok",
+		UptimeS: time.Since(s.started).Seconds(),
+		Queued:  s.queued.Load(),
+		Running: s.running.Load(),
+	}
+	json.NewEncoder(w).Encode(out) //nolint:errcheck // best-effort over HTTP
 }
 
 // handleMetrics serves the server-level exposition: result-cache hit/miss

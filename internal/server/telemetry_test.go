@@ -1,0 +1,200 @@
+package server_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"log/slog"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"mermaid/internal/server"
+)
+
+// lockedBuffer collects log output written concurrently by worker
+// goroutines and HTTP handlers.
+type lockedBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *lockedBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *lockedBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+func (b *lockedBuffer) Reset() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.buf.Reset()
+}
+
+// TestJobStatusCarriesHostTimes checks the queue-wait and wall fields of
+// the job status JSON and the per-job host trace endpoint.
+func TestJobStatusCarriesHostTimes(t *testing.T) {
+	_, ts := startServer(t, server.Config{Workers: 2, SampleEvery: 1000})
+	j, code := submit(t, ts, torusJob("telemetry", 7, 5))
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: %d", code)
+	}
+	waitDone(t, ts, j.ID)
+
+	data, code := get(t, ts, "/jobs/"+j.ID)
+	if code != http.StatusOK {
+		t.Fatalf("GET job: %d", code)
+	}
+	var status struct {
+		QueueWaitMS *float64 `json:"queue_wait_ms"`
+		WallMS      *float64 `json:"wall_ms"`
+	}
+	if err := json.Unmarshal(data, &status); err != nil {
+		t.Fatal(err)
+	}
+	if status.QueueWaitMS == nil || status.WallMS == nil {
+		t.Fatalf("status missing queue_wait_ms/wall_ms:\n%s", data)
+	}
+	if *status.WallMS <= 0 {
+		t.Errorf("wall_ms = %v, want > 0", *status.WallMS)
+	}
+	if *status.QueueWaitMS < 0 {
+		t.Errorf("queue_wait_ms = %v, want >= 0", *status.QueueWaitMS)
+	}
+
+	trace, code := get(t, ts, "/jobs/"+j.ID+"/hosttrace")
+	if code != http.StatusOK {
+		t.Fatalf("GET hosttrace: %d\n%s", code, trace)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(trace, &doc); err != nil {
+		t.Fatalf("host trace not JSON: %v\n%s", err, trace)
+	}
+	want := map[string]bool{"cache.lookup": false, "queued": false, "run": false, "cache.store": false}
+	for _, ev := range doc.TraceEvents {
+		if _, ok := want[ev.Name]; ok && ev.Ph == "X" {
+			want[ev.Name] = true
+		}
+	}
+	for name, seen := range want {
+		if !seen {
+			t.Errorf("host trace missing %q span:\n%s", name, trace)
+		}
+	}
+
+	if _, code := get(t, ts, "/jobs/nope/hosttrace"); code != http.StatusNotFound {
+		t.Errorf("unknown job hosttrace: %d, want 404", code)
+	}
+}
+
+// TestStructuredLogCorrelation checks the operational log carries the job
+// id through accept, start and finish.
+func TestStructuredLogCorrelation(t *testing.T) {
+	var buf lockedBuffer
+	log := slog.New(slog.NewTextHandler(&buf, nil))
+	_, ts := startServer(t, server.Config{Workers: 1, SampleEvery: 1000, Log: log})
+	j, code := submit(t, ts, torusJob("logged", 11, 5))
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: %d", code)
+	}
+	waitDone(t, ts, j.ID)
+
+	out := buf.String()
+	for _, want := range []string{"job accepted", "job started", "job finished"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("log missing %q:\n%s", want, out)
+		}
+	}
+	if want := "job=" + j.ID; !strings.Contains(out, want) {
+		t.Errorf("log lines not correlated by %q:\n%s", want, out)
+	}
+
+	// A cache hit logs the accept with cache=hit and no start/finish.
+	buf.Reset()
+	j2, code := submit(t, ts, torusJob("logged", 11, 5))
+	if code != http.StatusOK || !j2.Cached {
+		t.Fatalf("resubmit: %d cached=%v", code, j2.Cached)
+	}
+	if out := buf.String(); !strings.Contains(out, "cache=hit") {
+		t.Errorf("cache hit not logged:\n%s", out)
+	}
+}
+
+func TestHealthzJSON(t *testing.T) {
+	_, ts := startServer(t, server.Config{Workers: 1})
+	data, code := get(t, ts, "/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("healthz: %d", code)
+	}
+	var h struct {
+		Status  string   `json:"status"`
+		UptimeS *float64 `json:"uptime_s"`
+		Queued  *int64   `json:"jobs_queued"`
+		Running *int64   `json:"jobs_running"`
+	}
+	if err := json.Unmarshal(data, &h); err != nil {
+		t.Fatalf("healthz not JSON: %v\n%s", err, data)
+	}
+	if h.Status != "ok" || h.UptimeS == nil || h.Queued == nil || h.Running == nil {
+		t.Errorf("healthz incomplete: %s", data)
+	}
+}
+
+func TestPprofGatedByConfig(t *testing.T) {
+	_, off := startServer(t, server.Config{Workers: 1})
+	if _, code := get(t, off, "/debug/pprof/"); code != http.StatusNotFound {
+		t.Errorf("pprof off: /debug/pprof/ = %d, want 404", code)
+	}
+	_, on := startServer(t, server.Config{Workers: 1, EnablePprof: true})
+	data, code := get(t, on, "/debug/pprof/")
+	if code != http.StatusOK {
+		t.Errorf("pprof on: /debug/pprof/ = %d, want 200", code)
+	}
+	if !bytes.Contains(data, []byte("goroutine")) {
+		t.Errorf("pprof index unexpected:\n%.200s", data)
+	}
+}
+
+// TestDrain checks the graceful-shutdown accounting: jobs accepted before
+// the drain complete, and the drain reports them.
+func TestDrain(t *testing.T) {
+	s, ts := startServer(t, server.Config{Workers: 1, SampleEvery: 1000})
+	ids := []string{}
+	// Slow enough that the batch is still pending when the drain starts:
+	// one worker, three jobs of a few hundred phases each.
+	for i := 0; i < 3; i++ {
+		j, code := submit(t, ts, torusJob("drainme", uint64(100+i), 200))
+		if code != http.StatusAccepted {
+			t.Fatalf("submit %d: %d", i, code)
+		}
+		ids = append(ids, j.ID)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	drained, aborted := s.Drain(ctx)
+	if aborted != 0 {
+		t.Fatalf("aborted %d jobs during a generous drain", aborted)
+	}
+	if drained == 0 {
+		t.Error("drained = 0; expected pending jobs to be drained")
+	}
+	for _, id := range ids {
+		j := waitDone(t, ts, id)
+		if j.State != "done" {
+			t.Errorf("job %s state %q after drain", id, j.State)
+		}
+	}
+}
